@@ -1,0 +1,60 @@
+"""Shared machinery for the benchmark harness.
+
+Each ``test_bench_*`` file regenerates one table or figure of the paper
+(see DESIGN.md's experiment index), prints the reproduced rows, and
+asserts the paper's shape observations via
+:mod:`repro.core.observations`.  Heavy sweeps are shared through the
+in-process caches of :mod:`repro.core.figures`, so running the whole
+directory costs each experiment once.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+reproduced tables inline.
+"""
+
+import pytest
+
+from repro.core import figures
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    return figures.fig2_throughput()
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    return figures.fig3_latency()
+
+
+@pytest.fixture(scope="session")
+def fig4():
+    return figures.fig4_cpu()
+
+
+@pytest.fixture(scope="session")
+def fig5():
+    return figures.fig5_bandwidth_timeline()
+
+
+@pytest.fixture(scope="session")
+def fig6():
+    return figures.fig6_per_query_io()
+
+
+@pytest.fixture(scope="session")
+def fig7_11():
+    return figures.fig7_to_11_data()
+
+
+@pytest.fixture(scope="session")
+def fig12_15():
+    return figures.fig12_to_15_data()
+
+
+def run_once(benchmark, fn):
+    """Record *fn* with pytest-benchmark, executing it exactly once.
+
+    The experiments are deterministic simulations; repeating them would
+    only re-measure harness overhead.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Extension (paper Section VIII): filtered-search characterization.
+
+Payload-filtered search is the vector-database feature the paper lists
+but does not measure.  Selective filters force over-fetching (and in
+the worst case a full re-gather), so throughput falls as the filter
+gets more selective while results always satisfy the predicate.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.report import format_table
+from repro.data import load_dataset
+from repro.engines import Filter, IndexSpec, VectorEngine
+from repro.workload import BenchRunner
+
+DATASET = "openai-500k"
+GROUPS = 20  # payload "category" cardinality
+
+
+@pytest.fixture(scope="module")
+def filtered_runner():
+    dataset = load_dataset(DATASET)
+    engine = VectorEngine("milvus")
+    engine.create_collection("filtered", dataset.dim,
+                             IndexSpec.of("hnsw", M=8, ef_construction=60),
+                             storage_dim=dataset.spec.storage_dim)
+    engine.insert("filtered", dataset.vectors,
+                  payloads=[{"category": int(i % GROUPS)}
+                            for i in range(dataset.n)])
+    engine.flush("filtered")
+    return BenchRunner(engine, "filtered", dataset.queries,
+                       paper_n=dataset.spec.paper_n)
+
+
+def test_bench_filtered_throughput_cost(benchmark, filtered_runner):
+    def sweep():
+        rows = {}
+        rows["none"] = filtered_runner.run(
+            8, {"ef_search": 16}, duration_s=1.0)
+        rows["1-of-4"] = filtered_runner.run(
+            8, {"ef_search": 16,
+                "filter_": Filter.range("category", high=4)},
+            duration_s=1.0)
+        rows["1-of-20"] = filtered_runner.run(
+            8, {"ef_search": 16, "filter_": Filter.where(category=7)},
+            duration_s=1.0)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print("\n" + format_table(
+        ["filter", "QPS", "P99 (us)"],
+        [[name, f"{r.qps:.0f}", f"{r.p99_latency_s * 1e6:.0f}"]
+         for name, r in rows.items()]))
+    assert rows["none"].qps >= rows["1-of-4"].qps >= rows["1-of-20"].qps
+    assert rows["1-of-20"].p99_latency_s > rows["none"].p99_latency_s
+
+
+def test_bench_filtered_results_respect_predicate(filtered_runner):
+    collection = filtered_runner.collection
+    dataset = load_dataset(DATASET)
+    for query in dataset.queries[:20]:
+        response = collection.search(query, 10, ef_search=16,
+                                     filter_=Filter.where(category=7))
+        assert len(response.ids) == 10
+        for row_id in response.ids:
+            assert collection.payloads.get(int(row_id))["category"] == 7

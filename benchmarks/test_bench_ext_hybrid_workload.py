@@ -1,0 +1,55 @@
+"""Extension (paper Section VIII): hybrid read/write workloads.
+
+The paper's future work: searches with concurrent insert/WAL writes.
+NAND read/write interference should raise read tail latency and the
+block trace should now contain writes alongside the 4 KiB reads.
+"""
+
+from conftest import run_once
+from repro.core.figures import get_runner, tuned_params
+from repro.core.report import format_table
+from repro.workload.runner import WriteLoad
+
+DATASET = "cohere-10m"
+
+
+def run_pair():
+    runner = get_runner("milvus-diskann", DATASET)
+    params = tuned_params("milvus-diskann", DATASET)
+    read_only = runner.run(16, params, duration_s=2.0)
+    hybrid = runner.run(16, params, duration_s=2.0,
+                        write_load=WriteLoad(writers=4,
+                                             bytes_per_flush=512 * 1024,
+                                             interval_s=0.001))
+    return read_only, hybrid
+
+
+def test_bench_hybrid_read_write_interference(benchmark):
+    read_only, hybrid = run_once(benchmark, run_pair)
+    print("\n" + format_table(
+        ["workload", "QPS", "P99 (us)", "read MiB/s", "write MiB/s"],
+        [["search-only", f"{read_only.qps:.0f}",
+          f"{read_only.p99_latency_s * 1e6:.0f}",
+          f"{read_only.read_bandwidth / (1 << 20):.1f}", "0.0"],
+         ["search + writes", f"{hybrid.qps:.0f}",
+          f"{hybrid.p99_latency_s * 1e6:.0f}",
+          f"{hybrid.read_bandwidth / (1 << 20):.1f}",
+          f"{hybrid.write_bytes / hybrid.elapsed_s / (1 << 20):.1f}"]]))
+    assert read_only.write_bytes == 0
+    assert hybrid.write_bytes > 0
+    # Read/write interference: tail latency must not improve, and the
+    # write stream costs some search throughput.
+    assert hybrid.p99_latency_s >= read_only.p99_latency_s
+    assert hybrid.qps <= read_only.qps * 1.02
+
+
+def test_bench_hybrid_trace_contains_writes():
+    runner = get_runner("milvus-diskann", DATASET)
+    params = tuned_params("milvus-diskann", DATASET)
+    result = runner.run(8, params, duration_s=1.0, trace=True,
+                        write_load=WriteLoad(writers=2))
+    ops = {record.op for record in result.tracer.records}
+    assert ops == {"R", "W"}
+    # Reads stay pure 4 KiB even with the write stream interleaved.
+    read_sizes = {r.size for r in result.tracer.records if r.op == "R"}
+    assert read_sizes == {4096}

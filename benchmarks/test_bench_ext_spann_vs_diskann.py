@@ -1,0 +1,103 @@
+"""Extension: graph-based vs cluster-based storage indexes.
+
+The paper measures only DiskANN ("the only supported storage-based
+vector index in the selected vector databases") and cites [30] for the
+DiskANN-vs-SPFresh/SPANN comparison; its conclusion lists "integrating
+state-of-the-art vector indexing techniques" as future work.  This
+bench runs that comparison on our substrate:
+
+* **DiskANN** — a dependent chain of small 4 KiB reads: low bandwidth,
+  latency dominated by round trips;
+* **SPANN** — one parallel round of large posting-list reads: far
+  higher bandwidth and bytes/query (space- and read-amplified), fewer
+  dependent rounds.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import run_once
+from repro.core.report import format_table
+from repro.data import load_dataset
+from repro.engines import IndexSpec, VectorEngine, get_profile
+from repro.workload import BenchRunner
+
+DATASET = "openai-500k"
+
+
+def build_runner(kind, **index_params):
+    from repro.ann.store import cache_key, default_store
+
+    dataset = load_dataset(DATASET)
+    profile = dataclasses.replace(
+        get_profile("milvus"),
+        supported_indexes=("diskann", "spann"),
+        diskann_cache_bytes=0, diskann_lru_bytes=0, diskann_pool=0)
+
+    def build():
+        engine = VectorEngine(profile)
+        engine.create_collection("c", dataset.dim,
+                                 IndexSpec.of(kind, **index_params),
+                                 storage_dim=dataset.spec.storage_dim)
+        engine.insert("c", dataset.vectors)
+        engine.flush("c")
+        return engine.collection("c")
+
+    key = cache_key(what="spann-bench", kind=kind, dataset=DATASET,
+                    n=dataset.n, params=str(sorted(index_params.items())))
+    collection = default_store().get_or_build(key, build)
+    engine = VectorEngine(profile)
+    engine._collections["c"] = collection
+    return dataset, BenchRunner(engine, "c", dataset.queries,
+                                ground_truth=dataset.ground_truth(10),
+                                paper_n=dataset.spec.paper_n)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    _ds, diskann = build_runner("diskann")
+    _ds, spann = build_runner("spann")
+    return {
+        "diskann": diskann.run(8, {"search_list": 20}, duration_s=1.0,
+                               trace=True),
+        "spann": spann.run(8, {"nprobe": 6}, duration_s=1.0, trace=True),
+    }
+
+
+def test_bench_spann_vs_diskann(benchmark, comparison):
+    results = run_once(benchmark, lambda: comparison)
+    print("\n" + format_table(
+        ["index", "recall@10", "QPS", "P99 (us)", "KiB/query",
+         "read MiB/s"],
+        [[name, f"{r.recall:.3f}", f"{r.qps:.0f}",
+          f"{r.p99_latency_s * 1e6:.0f}",
+          f"{r.per_query_read_bytes / 1024:.0f}",
+          f"{r.read_bandwidth / (1 << 20):.1f}"]
+         for name, r in results.items()]))
+    diskann, spann = results["diskann"], results["spann"]
+    # Both reach the accuracy target.
+    assert diskann.recall >= 0.9 and spann.recall >= 0.9
+    # SPANN reads far more bytes per query (replication + full lists)...
+    assert spann.per_query_read_bytes > 5 * diskann.per_query_read_bytes
+    assert spann.read_bandwidth > 5 * diskann.read_bandwidth
+
+
+def test_bench_spann_request_shapes(comparison):
+    """DiskANN: pure 4 KiB random reads.  SPANN: large multi-page
+    requests (the block layer caps them at 128 KiB)."""
+    diskann_sizes = {r.size for r in comparison["diskann"].tracer.records}
+    spann_sizes = {r.size for r in comparison["spann"].tracer.records}
+    assert diskann_sizes == {4096}
+    assert max(spann_sizes) > 4096
+    assert max(spann_sizes) <= 128 * 1024
+
+
+def test_bench_spann_space_amplification():
+    dataset = load_dataset(DATASET)
+    _ds, runner = build_runner("spann")
+    index = runner.collection.segments[0].index
+    nominal = dataset.n * 4 * dataset.spec.storage_dim
+    assert index.disk_bytes() > nominal          # replication costs space
+    assert index.space_amplification() > 1.0
+    assert index.space_amplification() <= 8.0    # SPANN's replica cap

@@ -1,0 +1,27 @@
+"""Figure 10: total read bandwidth vs search_list (O-20/O-21).
+
+Paper shape: search_list 10->100 multiplies total bandwidth ~3.0-3.3x
+at one thread (2.0-2.4x at 256), yet the peak (1620 MiB/s there) stays
+far from the device's 7.2 GiB/s.
+"""
+
+from conftest import run_once
+from repro.core import observations as obs
+from repro.core.report import format_table
+from repro.storage.spec import samsung_990pro_4tb
+
+DEVICE_MAX_MIB_S = samsung_990pro_4tb().max_read_bandwidth() / (1 << 20)
+
+
+def test_bench_fig10(benchmark, fig7_11):
+    data = run_once(benchmark, lambda: fig7_11)
+    rows = [[dataset, L, f"{per_conc[1]['read_mib_s']:.1f}",
+             f"{per_conc[256]['read_mib_s']:.1f}"]
+            for dataset, sweep in data.items()
+            for L, per_conc in sweep.items()]
+    print("\n" + format_table(
+        ["dataset", "search_list", "MiB/s@1", "MiB/s@256"], rows))
+    check = obs.check_o20_o21_bandwidth_cost(data, DEVICE_MAX_MIB_S)
+    print(f"{check.obs_id}: "
+          f"{'HOLDS' if check.holds else 'DIFFERS'} — {check.measured}")
+    assert check.holds, check.measured

@@ -1,0 +1,31 @@
+"""Figure 11: per-query average read volume vs search_list.
+
+Paper shape: search_list 10->100 multiplies per-query volume ~5.1-6.3x
+at one thread and ~4.9-5.4x at 256 — more than the total-bandwidth
+multiplier, because throughput simultaneously falls.
+"""
+
+from conftest import run_once
+from repro.core.report import format_table
+
+
+def test_bench_fig11(benchmark, fig7_11):
+    data = run_once(benchmark, lambda: fig7_11)
+    rows = [[dataset, L, f"{per_conc[1]['per_query_kib']:.1f}",
+             f"{per_conc[256]['per_query_kib']:.1f}"]
+            for dataset, sweep in data.items()
+            for L, per_conc in sweep.items()]
+    print("\n" + format_table(
+        ["dataset", "search_list", "KiB/query@1", "KiB/query@256"], rows))
+    for dataset, sweep in data.items():
+        for concurrency in (1, 256):
+            ratio = (sweep[100][concurrency]["per_query_kib"]
+                     / max(sweep[10][concurrency]["per_query_kib"], 1e-9))
+            total_ratio = (sweep[100][concurrency]["read_mib_s"]
+                           / max(sweep[10][concurrency]["read_mib_s"],
+                                 1e-9))
+            assert ratio >= 1.5, (dataset, concurrency, ratio)
+            # Per-query volume grows at least as fast as total bandwidth
+            # (throughput drops simultaneously) — the paper's contrast
+            # between Figures 10 and 11.
+            assert ratio >= total_ratio - 0.2, (dataset, concurrency)

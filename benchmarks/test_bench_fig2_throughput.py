@@ -1,0 +1,32 @@
+"""Figure 2: throughput scalability over 1..256 client threads.
+
+Paper shapes checked: O-1 (index ordering within Milvus), O-2 (database
+matters as much as the index), O-3 (LanceDB slowest single-threaded),
+O-4 (superlinear 1->16 scaling on small datasets), O-5 (Milvus plateaus
+early on 10x data), O-6 (Weaviate flat across dataset growth).
+"""
+
+from conftest import run_once
+from repro.core import observations as obs
+from repro.core.report import render_series_figure
+
+
+def test_bench_fig2(benchmark, fig2):
+    data = run_once(benchmark, lambda: fig2)
+    print("\n" + render_series_figure(data, "QPS", 0))
+    for check in (obs.check_o1_index_matters(data),
+                  obs.check_o2_database_matters(data),
+                  obs.check_o3_lancedb_slowest_single_thread(data),
+                  obs.check_o4_superlinear_scaling(data),
+                  obs.check_o5_milvus_plateaus_early(data),
+                  obs.check_o6_dataset_scaling(data)):
+        print(f"{check.obs_id}: "
+              f"{'HOLDS' if check.holds else 'DIFFERS'} — {check.measured}")
+        assert check.holds, f"{check.obs_id}: {check.measured}"
+
+
+def test_bench_fig2_lancedb_oom(fig2):
+    """The paper could not scale LanceDB-HNSW to 256 threads (OOM)."""
+    for dataset, per_setup in fig2["datasets"].items():
+        assert per_setup["lancedb-hnsw"][-1] is None, dataset
+        assert per_setup["lancedb-hnsw"][0] is not None, dataset

@@ -1,0 +1,27 @@
+"""Figure 3: P99 tail-latency scalability over client threads.
+
+Paper shapes checked: O-7 (DiskANN's P99 between HNSW's and IVF's) and
+O-8 (large latency spread across databases sharing HNSW).
+"""
+
+from conftest import run_once
+from repro.core import observations as obs
+from repro.core.report import render_series_figure
+
+
+def test_bench_fig3(benchmark, fig3):
+    data = run_once(benchmark, lambda: fig3)
+    print("\n" + render_series_figure(data, "P99us", 0))
+    for check in (obs.check_o7_latency_ordering(data),
+                  obs.check_o8_latency_spread(data)):
+        print(f"{check.obs_id}: "
+              f"{'HOLDS' if check.holds else 'DIFFERS'} — {check.measured}")
+        assert check.holds, f"{check.obs_id}: {check.measured}"
+
+
+def test_bench_fig3_latency_grows_with_oversubscription(fig3):
+    """Tail latency rises once clients outnumber useful parallelism."""
+    for dataset, per_setup in fig3["datasets"].items():
+        for setup, series in per_setup.items():
+            values = [v for v in series if v is not None]
+            assert values[-1] >= values[0], (dataset, setup)

@@ -1,0 +1,39 @@
+"""Figure 4: global CPU usage on the two large datasets.
+
+Paper shapes: Milvus-IVF/DiskANN CPU plateaus after ~4 threads (in step
+with their throughput plateau); Qdrant/Weaviate CPU keeps growing to
+~32 threads; throughput and CPU usage are strongly correlated.
+"""
+
+from conftest import run_once
+from repro.core.report import render_series_figure
+
+
+def _at(data, dataset, setup, threads):
+    return data["datasets"][dataset][setup][data["threads"].index(threads)]
+
+
+def test_bench_fig4(benchmark, fig4):
+    data = run_once(benchmark, lambda: fig4)
+    print("\n" + render_series_figure(data, "CPU%", 0))
+    for dataset in data["datasets"]:
+        # Milvus storage/cluster setups: little CPU growth past 4 threads.
+        for setup in ("milvus-ivf", "milvus-diskann"):
+            early = _at(data, dataset, setup, 4)
+            late = _at(data, dataset, setup, 64)
+            assert late < 2.0 * early, (dataset, setup, early, late)
+        # Qdrant/Weaviate keep converting threads into CPU until ~32.
+        for setup in ("qdrant-hnsw", "weaviate-hnsw"):
+            early = _at(data, dataset, setup, 4)
+            late = _at(data, dataset, setup, 32)
+            assert late > 2.0 * early, (dataset, setup, early, late)
+
+
+def test_bench_fig4_cpu_tracks_throughput(fig2, fig4):
+    """O: CPU usage and throughput plateau together for Milvus."""
+    for dataset in fig4["datasets"]:
+        qps = fig2["datasets"][dataset]["milvus-diskann"]
+        cpu = fig4["datasets"][dataset]["milvus-diskann"]
+        qps_gain = qps[-1] / qps[fig2["threads"].index(4)]
+        cpu_gain = cpu[-1] / cpu[fig4["threads"].index(4)]
+        assert abs(qps_gain - cpu_gain) < max(1.0, 0.75 * qps_gain)

@@ -1,0 +1,47 @@
+"""Figure 5: Milvus-DiskANN read-bandwidth timeline at concurrency 1,
+the plateau point, and 256.
+
+Paper shapes: bandwidth is stable across the run; the device is never
+close to saturation (O-10); concurrency helps small datasets' bandwidth
+far more than large ones' (O-12).
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import observations as obs
+from repro.core.report import render_fig5
+from repro.storage.spec import samsung_990pro_4tb
+
+DEVICE_MAX_MIB_S = samsung_990pro_4tb().max_read_bandwidth() / (1 << 20)
+
+
+def test_bench_fig5(benchmark, fig5):
+    data = run_once(benchmark, lambda: fig5)
+    print("\n" + render_fig5(data))
+    for check in (obs.check_o10_no_saturation(data, DEVICE_MAX_MIB_S),
+                  obs.check_o12_concurrency_bandwidth_scaling(data)):
+        print(f"{check.obs_id}: "
+              f"{'HOLDS' if check.holds else 'DIFFERS'} — {check.measured}")
+        assert check.holds, f"{check.obs_id}: {check.measured}"
+
+
+def test_bench_fig5_bandwidth_is_stable(fig5):
+    """The paper: 'the read bandwidth remains stable during the search'.
+
+    Check the steady-state portion (after warm-up) of every line whose
+    mean is non-negligible: variation stays within 60% of the mean.
+    """
+    for dataset, entry in fig5["datasets"].items():
+        for concurrency, line in entry["lines"].items():
+            series = np.asarray(line["read_mib_s"])[2:]
+            if series.size == 0 or series.mean() < 1.0:
+                continue
+            spread = series.std() / series.mean()
+            assert spread < 0.6, (dataset, concurrency, spread)
+
+
+def test_bench_fig5_bandwidth_grows_with_concurrency(fig5):
+    for dataset, entry in fig5["datasets"].items():
+        lines = entry["lines"]
+        assert lines[256]["mean_mib_s"] > lines[1]["mean_mib_s"], dataset

@@ -1,0 +1,31 @@
+"""Figure 6 (+ O-15): per-query read volume and request-size mix.
+
+Paper shapes: per-query volume drops slightly at high concurrency
+(O-13), grows ~8.4-10.1x when the dataset grows 10x (O-14), and the
+request stream is >=99.99% 4 KiB reads (O-15; we require >=99%).
+"""
+
+from conftest import run_once
+from repro.core import observations as obs
+from repro.core.report import render_fig6
+
+
+def test_bench_fig6(benchmark, fig6):
+    data = run_once(benchmark, lambda: fig6)
+    print("\n" + render_fig6(data))
+    for check in (
+            obs.check_o13_per_query_volume_drops_with_concurrency(data),
+            obs.check_o14_per_query_volume_grows_with_data(data),
+            obs.check_o15_4k_dominance(data)):
+        print(f"{check.obs_id}: "
+              f"{'HOLDS' if check.holds else 'DIFFERS'} — {check.measured}")
+        assert check.holds, f"{check.obs_id}: {check.measured}"
+
+
+def test_bench_fig6_histogram_shape(fig6):
+    """The histogram itself: 4 KiB strictly dominates everywhere."""
+    for dataset, per_conc in fig6.items():
+        for concurrency, entry in per_conc.items():
+            histogram = entry["size_histogram"]
+            assert max(histogram, key=histogram.get) == 4096, (
+                dataset, concurrency)

@@ -1,0 +1,34 @@
+"""Figure 7: throughput vs search_list (O-17 at one thread, O-18 at 256).
+
+Paper shape: raising search_list 10->100 cuts QPS by 36.3-43.8% with a
+single thread and by 51.2-60.9% at 256 threads.
+"""
+
+from conftest import run_once
+from repro.core import observations as obs
+from repro.core.report import format_table
+
+
+def test_bench_fig7(benchmark, fig7_11):
+    data = run_once(benchmark, lambda: fig7_11)
+    rows = []
+    for dataset, sweep in data.items():
+        for L, per_conc in sweep.items():
+            rows.append([dataset, L, f"{per_conc[1]['qps']:.0f}",
+                         f"{per_conc[256]['qps']:.0f}"])
+    print("\n" + format_table(["dataset", "search_list", "QPS@1",
+                               "QPS@256"], rows))
+    check = obs.check_o17_o18_throughput_cost(data)
+    print(f"{check.obs_id}: "
+          f"{'HOLDS' if check.holds else 'DIFFERS'} — {check.measured}")
+    assert check.holds, check.measured
+
+
+def test_bench_fig7_monotone_decrease(fig7_11):
+    """QPS decreases (weakly) as search_list grows, at both levels."""
+    for dataset, sweep in fig7_11.items():
+        for concurrency in (1, 256):
+            qps = [per_conc[concurrency]["qps"]
+                   for per_conc in sweep.values()]
+            assert all(b <= a * 1.05 for a, b in zip(qps, qps[1:])), (
+                dataset, concurrency, qps)

@@ -1,0 +1,28 @@
+"""Figure 8: P99 latency vs search_list at one thread (O-19).
+
+Paper shape: search_list 10->100 raises P99 by 59.7-102.5%.
+"""
+
+from conftest import run_once
+from repro.core import observations as obs
+from repro.core.report import format_table
+
+
+def test_bench_fig8(benchmark, fig7_11):
+    data = run_once(benchmark, lambda: fig7_11)
+    rows = [[dataset, L, f"{per_conc[1]['p99_us']:.0f}"]
+            for dataset, sweep in data.items()
+            for L, per_conc in sweep.items()]
+    print("\n" + format_table(["dataset", "search_list", "P99 (us)"],
+                              rows))
+    check = obs.check_o19_latency_cost(data)
+    print(f"{check.obs_id}: "
+          f"{'HOLDS' if check.holds else 'DIFFERS'} — {check.measured}")
+    assert check.holds, check.measured
+
+
+def test_bench_fig8_monotone_increase(fig7_11):
+    for dataset, sweep in fig7_11.items():
+        p99 = [per_conc[1]["p99_us"] for per_conc in sweep.values()]
+        assert all(b >= a * 0.95 for a, b in zip(p99, p99[1:])), (
+            dataset, p99)

@@ -1,0 +1,36 @@
+"""Figure 9: recall@10 vs search_list (O-16).
+
+Paper shape: recall starts >=0.9 at search_list=10, the 10->20 step
+contributes the largest gain (1.0-4.3%), and the total 10->100 gain is
+2.0-6.5% — diminishing returns.
+"""
+
+from conftest import run_once
+from repro.core import observations as obs
+from repro.core.report import format_table
+
+
+def test_bench_fig9(benchmark, fig7_11):
+    data = run_once(benchmark, lambda: fig7_11)
+    rows = [[dataset, L, f"{per_conc[1]['recall']:.3f}"]
+            for dataset, sweep in data.items()
+            for L, per_conc in sweep.items()]
+    print("\n" + format_table(["dataset", "search_list", "recall@10"],
+                              rows))
+    check = obs.check_o16_diminishing_recall(data)
+    print(f"{check.obs_id}: "
+          f"{'HOLDS' if check.holds else 'DIFFERS'} — {check.measured}")
+    assert check.holds, check.measured
+
+
+def test_bench_fig9_baseline_and_gain_bands(fig7_11):
+    for dataset, sweep in fig7_11.items():
+        r10 = sweep[10][1]["recall"]
+        r100 = sweep[100][1]["recall"]
+        if dataset in ("cohere-1m", "openai-500k"):
+            assert r10 >= 0.9, (dataset, r10)      # y-axis starts at 0.9
+        else:
+            # Proxy-scale divergence (EXPERIMENTS.md): the 10x proxies
+            # start slightly below the paper's 0.9 floor at L=10.
+            assert r10 >= 0.8, (dataset, r10)
+        assert 0.0 <= r100 - r10 <= 0.2, (dataset, r10, r100)

@@ -1,0 +1,29 @@
+"""Section III-A: the raw fio envelope of the simulated Samsung 990 Pro.
+
+Paper numbers: 324.3 KIOPS (4 KiB randread, one core), 1.3 MIOPS (64
+concurrent 4 KiB requests), 7.2 GiB/s (128 KiB sequential, 32 threads).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.figures import ssd_baseline_data
+from repro.core.report import format_table
+
+
+def test_bench_ssd_baseline(benchmark):
+    data = run_once(benchmark, ssd_baseline_data)
+    print("\n" + format_table(
+        ["metric", "paper", "measured"],
+        [["4 KiB randread 1 core (KIOPS)", "324.3",
+          f"{data['single_core_4k_kiops']:.1f}"],
+         ["4 KiB randread QD64 (MIOPS)", "1.3",
+          f"{data['deep_queue_4k_miops']:.2f}"],
+         ["128 KiB seqread (GiB/s)", "7.2",
+          f"{data['seq_128k_gib_s']:.1f}"],
+         ["QD1 mean latency (us)", "<100",
+          f"{data['qd1_mean_latency_us']:.1f}"]]))
+    assert data["single_core_4k_kiops"] == pytest.approx(324.3, rel=0.08)
+    assert data["deep_queue_4k_miops"] == pytest.approx(1.3, rel=0.10)
+    assert data["seq_128k_gib_s"] == pytest.approx(7.2, rel=0.08)
+    assert data["qd1_mean_latency_us"] < 100.0

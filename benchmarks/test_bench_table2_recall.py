@@ -1,0 +1,34 @@
+"""Table II: tuned build/search parameters and the recall they achieve.
+
+Paper shape: every Milvus setup reaches recall@10 >= 0.9; DiskANN
+already exceeds it at the minimum search_list of 10 (0.93-0.98);
+LanceDB's quantized HNSW needs at least Milvus's efSearch; LanceDB
+IVF-PQ, pinned to Milvus's nprobe, falls short (0.64-0.73 there).
+"""
+
+from conftest import run_once
+from repro.core.figures import table2_data
+from repro.core.report import render_table2
+
+
+def test_bench_table2(benchmark):
+    table = run_once(benchmark, table2_data)
+    print("\n" + render_table2(table))
+    for dataset, row in table.items():
+        assert row["milvus-ivf"]["recall"] >= 0.9
+        assert row["milvus-hnsw"]["recall"] >= 0.9
+        assert row["milvus-diskann"]["recall"] >= 0.9
+        if dataset in ("cohere-1m", "openai-500k"):
+            # Small datasets: the minimum search_list already passes,
+            # exactly as the paper found at its scale.
+            assert row["milvus-diskann"]["search_list"] == 10
+            assert row["milvus-diskann"]["recall"] >= 0.92
+        else:
+            # Known proxy-scale divergence (see EXPERIMENTS.md): the
+            # 10x proxies need a slightly larger candidate list.
+            assert row["milvus-diskann"]["search_list"] <= 25
+        assert (row["lancedb-hnsw"]["ef_search"]
+                >= row["milvus-hnsw"]["ef_search"])
+        assert row["lancedb-ivfpq"]["recall"] < 0.9
+        assert (row["lancedb-ivfpq"]["nprobe"]
+                == row["milvus-ivf"]["nprobe"])

@@ -1,0 +1,31 @@
+"""repro: reproduction of "Storage-Based Approximate Nearest Neighbor
+Search: What are the Performance, Cost, and I/O Characteristics?"
+(IISWC 2025).
+
+Subpackages
+-----------
+- ``repro.simkernel`` — deterministic discrete-event simulation kernel;
+- ``repro.storage``  — calibrated NVMe/SATA device, page cache, tracer;
+- ``repro.ann``      — IVF, HNSW, Vamana/DiskANN, PQ/SQ, from scratch;
+- ``repro.data``     — synthetic proxies of the Cohere/OpenAI datasets;
+- ``repro.engines``  — Milvus/Qdrant/Weaviate/LanceDB-profile engines;
+- ``repro.workload`` — VectorDBBench-style closed-loop benchmark runner;
+- ``repro.trace``    — block-trace analysis (bandwidth, request sizes);
+- ``repro.core``     — the study: figures, observation checks, reports.
+"""
+
+from repro.data.registry import load_dataset
+from repro.engines.engine import IndexSpec, VectorEngine
+from repro.engines.payload import Filter
+from repro.workload.setup import make_runner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Filter",
+    "IndexSpec",
+    "VectorEngine",
+    "__version__",
+    "load_dataset",
+    "make_runner",
+]

@@ -1,0 +1,53 @@
+"""ANN algorithms: distance kernels, quantizers, and the paper's indexes.
+
+Every index returns, along with result ids, a
+:class:`~repro.ann.workprofile.WorkProfile` describing the real work the
+search performed (distance evaluations, dependent I/O rounds, block
+requests), which the engine layer replays on the simulated hardware.
+"""
+
+from repro.ann.base import VectorIndex
+from repro.ann.diskann import DiskANNIndex, DiskLayout
+from repro.ann.distance import METRICS, distances, normalize, pairwise, top_k
+from repro.ann.flat import FlatIndex
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.ivf import IVFIndex, default_nlist
+from repro.ann.kmeans import kmeans, kmeans_pp_init
+from repro.ann.pq import ProductQuantizer
+from repro.ann.spann import SPANNIndex
+from repro.ann.sq import ScalarQuantizer
+from repro.ann.store import IndexStore, cache_key, default_store
+from repro.ann.vamana import (VamanaGraph, build_vamana, greedy_search,
+                              robust_prune)
+from repro.ann.workprofile import (CpuStep, IoStep, SearchResult, WorkProfile)
+
+__all__ = [
+    "CpuStep",
+    "DiskANNIndex",
+    "DiskLayout",
+    "FlatIndex",
+    "IndexStore",
+    "HNSWIndex",
+    "IVFIndex",
+    "IoStep",
+    "METRICS",
+    "ProductQuantizer",
+    "SPANNIndex",
+    "ScalarQuantizer",
+    "SearchResult",
+    "VamanaGraph",
+    "VectorIndex",
+    "WorkProfile",
+    "build_vamana",
+    "cache_key",
+    "default_store",
+    "default_nlist",
+    "distances",
+    "greedy_search",
+    "kmeans",
+    "kmeans_pp_init",
+    "normalize",
+    "pairwise",
+    "robust_prune",
+    "top_k",
+]

@@ -1,0 +1,52 @@
+"""Common interface of all ANN indexes in this library."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.ann.workprofile import SearchResult
+from repro.errors import IndexError_
+
+
+class VectorIndex(abc.ABC):
+    """A built-once, searched-many index over a fixed vector set.
+
+    Dynamic insertion/deletion is handled one level up, by the engines'
+    segment management (the way Milvus seals immutable segments), so the
+    index layer can stay simple and immutable.
+    """
+
+    #: Human-readable kind, e.g. "ivf", "hnsw", "diskann".
+    kind: str = "abstract"
+    #: Whether searching reads from storage (True) or memory only.
+    storage_based: bool = False
+
+    def __init__(self, metric: str = "l2") -> None:
+        self.metric = metric
+        self._built = False
+
+    @property
+    def built(self) -> bool:
+        return self._built
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise IndexError_(f"{self.kind} index searched before build()")
+
+    @abc.abstractmethod
+    def build(self, X: np.ndarray) -> "VectorIndex":
+        """Construct the index over the rows of *X*."""
+
+    @abc.abstractmethod
+    def search(self, query: np.ndarray, k: int, **params) -> SearchResult:
+        """Return the ids of the ~k nearest rows plus the work done."""
+
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Resident memory footprint of the built index."""
+
+    def disk_bytes(self) -> int:
+        """On-disk footprint; zero for memory-based indexes."""
+        return 0

@@ -1,0 +1,124 @@
+"""Vectorized distance kernels shared by every index.
+
+Supported metrics mirror those of the benchmarked databases: squared
+Euclidean (``l2``), inner product (``ip``), and ``cosine``.  All kernels
+return values where *smaller means closer*, so callers can rank results
+uniformly; for ``ip`` and ``cosine`` the kernels therefore return
+negated similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+METRICS = ("l2", "ip", "cosine")
+
+
+def _as_2d(Y: np.ndarray) -> np.ndarray:
+    return Y if Y.ndim == 2 else Y.reshape(1, -1)
+
+
+def normalize(X: np.ndarray) -> np.ndarray:
+    """L2-normalize rows, guarding all-zero rows."""
+    X = np.asarray(X, dtype=np.float32)
+    norms = np.linalg.norm(_as_2d(X), axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return (_as_2d(X) / norms).reshape(X.shape)
+
+
+def distances(query: np.ndarray, Y: np.ndarray, metric: str) -> np.ndarray:
+    """Distance from one query vector to each row of *Y* (smaller=closer)."""
+    Y = _as_2d(np.asarray(Y))
+    query = np.asarray(query).reshape(-1)
+    if query.shape[0] != Y.shape[1]:
+        raise IndexError_(
+            f"dimension mismatch: query {query.shape[0]} vs data {Y.shape[1]}")
+    if metric == "l2":
+        diff = Y - query
+        return np.einsum("ij,ij->i", diff, diff)
+    if metric == "ip":
+        return -(Y @ query)
+    if metric == "cosine":
+        similarity = (Y @ query) / (
+            (np.linalg.norm(Y, axis=1) * np.linalg.norm(query)) + 1e-30)
+        return -similarity
+    raise IndexError_(f"unknown metric {metric!r}; choose from {METRICS}")
+
+
+def pairwise(X: np.ndarray, Y: np.ndarray, metric: str) -> np.ndarray:
+    """Distance matrix between rows of *X* and rows of *Y*."""
+    X = _as_2d(np.asarray(X, dtype=np.float32))
+    Y = _as_2d(np.asarray(Y, dtype=np.float32))
+    if X.shape[1] != Y.shape[1]:
+        raise IndexError_(
+            f"dimension mismatch: {X.shape[1]} vs {Y.shape[1]}")
+    if metric == "l2":
+        x_sq = np.einsum("ij,ij->i", X, X)[:, None]
+        y_sq = np.einsum("ij,ij->i", Y, Y)[None, :]
+        out = x_sq + y_sq - 2.0 * (X @ Y.T)
+        np.maximum(out, 0.0, out=out)
+        return out
+    if metric == "ip":
+        return -(X @ Y.T)
+    if metric == "cosine":
+        xn = np.linalg.norm(X, axis=1, keepdims=True) + 1e-30
+        yn = np.linalg.norm(Y, axis=1, keepdims=True) + 1e-30
+        return -((X / xn) @ (Y / yn).T)
+    raise IndexError_(f"unknown metric {metric!r}; choose from {METRICS}")
+
+
+def prepare(X: np.ndarray, metric: str) -> tuple[np.ndarray, str]:
+    """Preprocess data so the cheapest equivalent kernel can be used.
+
+    For ``cosine``, vectors are L2-normalized once at build time and the
+    internal metric becomes ``l2n``: squared Euclidean distance on unit
+    vectors, computed as ``2 - 2 * <x, q>``.  It ranks identically to
+    cosine but is *non-negative*, which graph-pruning rules with
+    multiplicative slack (DiskANN's RobustPrune alpha) require.
+    Returns ``(data, internal_metric)``.
+    """
+    X = np.ascontiguousarray(X, dtype=np.float32)
+    if metric == "cosine":
+        return normalize(X), "l2n"
+    if metric in ("l2", "ip"):
+        return X, metric
+    raise IndexError_(f"unknown metric {metric!r}; choose from {METRICS}")
+
+
+def prepare_query(query: np.ndarray, metric: str) -> np.ndarray:
+    """The query-side counterpart of :func:`prepare`."""
+    query = np.asarray(query, dtype=np.float32).reshape(-1)
+    return normalize(query) if metric == "cosine" else query
+
+
+def make_kernel(X: np.ndarray, internal_metric: str):
+    """A fast closure ``kernel(query, ids) -> dists`` over rows of *X*.
+
+    Avoids the per-call validation of :func:`distances` in index hot
+    loops; *X* must already be the output of :func:`prepare`.
+    """
+    if internal_metric == "ip":
+        def kernel(query: np.ndarray, ids) -> np.ndarray:
+            return -(X[ids] @ query)
+        return kernel
+    if internal_metric == "l2n":
+        def kernel(query: np.ndarray, ids) -> np.ndarray:
+            return 2.0 - 2.0 * (X[ids] @ query)
+        return kernel
+    if internal_metric == "l2":
+        def kernel(query: np.ndarray, ids) -> np.ndarray:
+            diff = X[ids] - query
+            return np.einsum("ij,ij->i", diff, diff)
+        return kernel
+    raise IndexError_(f"no kernel for metric {internal_metric!r}")
+
+
+def top_k(dists: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the *k* smallest distances, sorted ascending."""
+    k = min(k, dists.shape[0])
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    part = np.argpartition(dists, k - 1)[:k]
+    return part[np.argsort(dists[part], kind="stable")]

@@ -1,0 +1,50 @@
+"""Exact brute-force index; the recall baseline for everything else."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.base import VectorIndex
+from repro.ann.distance import make_kernel, prepare, prepare_query, top_k
+from repro.ann.workprofile import SearchResult, WorkProfile
+from repro.errors import IndexError_
+
+
+class FlatIndex(VectorIndex):
+    """Scans the entire dataset; exact but O(n) per query.
+
+    Like every index here, cosine data is prepared to the ``l2n``
+    representation, so its reported distances merge consistently with
+    other indexes' results across a collection's segments.
+    """
+
+    kind = "flat"
+
+    def __init__(self, metric: str = "l2") -> None:
+        super().__init__(metric)
+        self._X: np.ndarray | None = None
+        self._imetric = "l2"
+
+    def build(self, X: np.ndarray) -> "FlatIndex":
+        X = np.asarray(X, dtype=np.float32)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise IndexError_(f"flat index needs non-empty 2D data: {X.shape}")
+        self._X, self._imetric = prepare(X, self.metric)
+        self._built = True
+        return self
+
+    def search(self, query: np.ndarray, k: int, **params) -> SearchResult:
+        self._require_built()
+        if params:
+            raise IndexError_(f"flat index takes no search params: {params}")
+        query = prepare_query(query, self.metric)
+        dists = make_kernel(self._X, self._imetric)(query, slice(None))
+        work = WorkProfile()
+        work.add_cpu(full_evals=self._X.shape[0])
+        order = top_k(dists, k).astype(np.int64)
+        return SearchResult(ids=order, work=work,
+                            dists=dists[order].astype(np.float32))
+
+    def memory_bytes(self) -> int:
+        self._require_built()
+        return self._X.nbytes

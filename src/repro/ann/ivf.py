@@ -1,0 +1,194 @@
+"""IVF: the cluster-based index of paper Section II-B (Figure 1a).
+
+Vectors are k-means clustered into ``nlist`` cells; a query compares
+against all centroids, picks the ``nprobe`` closest cells, and scans
+them exhaustively.  Two variants exist in the paper's testbed:
+
+* **memory-based raw IVF** (Milvus-IVF): full-precision vectors in RAM;
+* **storage-based IVF-PQ** (LanceDB-IVF): product-quantized posting
+  lists that live on disk and are read per probe.
+
+``faiss``'s guideline ``nlist = 4 * sqrt(n)`` (paper Section III-C) is
+the default.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ann.base import VectorIndex
+from repro.ann.distance import (distances, make_kernel, prepare,
+                                 prepare_query, top_k)
+from repro.ann.kmeans import kmeans
+from repro.ann.pq import ProductQuantizer
+from repro.ann.workprofile import SearchResult, WorkProfile
+from repro.errors import IndexError_
+from repro.storage.spec import PAGE_SIZE
+
+
+def default_nlist(n: int) -> int:
+    """The faiss guideline the paper follows: ``4 * sqrt(n)``."""
+    return max(1, int(round(4 * math.sqrt(n))))
+
+
+class IVFIndex(VectorIndex):
+    """Inverted-file index, optionally product-quantized and on disk."""
+
+    kind = "ivf"
+
+    def __init__(self, metric: str = "l2", nlist: int | None = None,
+                 quantizer: ProductQuantizer | None = None,
+                 on_disk: bool = False, record_bytes: int | None = None,
+                 train_points: int = 20_000, seed: int = 0) -> None:
+        """
+        Args:
+            nlist: number of cells; defaults to ``4 * sqrt(n)`` at build.
+            quantizer: when given, posting lists hold PQ codes and
+                search uses asymmetric-distance scans (LanceDB-IVF-PQ).
+            on_disk: posting lists live on storage; every probed cell
+                costs a read of its extent.
+            record_bytes: on-disk bytes per posting-list entry; defaults
+                to the PQ code size (+id) or the raw vector size (+id).
+            train_points: k-means training sample cap.
+        """
+        super().__init__(metric)
+        self.nlist = nlist
+        self.quantizer = quantizer
+        self.on_disk = on_disk
+        self.record_bytes = record_bytes
+        self.train_points = train_points
+        self.seed = seed
+        self.storage_based = on_disk
+        self.centroids: np.ndarray | None = None
+        self._X: np.ndarray | None = None        # prepared vectors
+        self._imetric: str = "l2"
+        self._lists: list[np.ndarray] = []       # ids per cell
+        self._codes: list[np.ndarray] = []       # PQ codes per cell
+        self._extents: list[tuple[int, int]] = []  # on-disk (offset, size)
+        self._disk_bytes = 0
+
+    # -- construction -----------------------------------------------------
+
+    def build(self, X: np.ndarray) -> "IVFIndex":
+        X = np.asarray(X, dtype=np.float32)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise IndexError_(f"IVF needs non-empty 2D data: {X.shape}")
+        X, self._imetric = prepare(X, self.metric)
+        self._X = X
+        n, dim = X.shape
+        if self.nlist is None:
+            self.nlist = default_nlist(n)
+        if self.nlist > n:
+            raise IndexError_(f"nlist {self.nlist} exceeds dataset size {n}")
+
+        rng = np.random.default_rng(self.seed)
+        sample = X if n <= self.train_points else (
+            X[rng.choice(n, self.train_points, replace=False)])
+        self.centroids, _ = kmeans(sample, self.nlist, seed=self.seed)
+        assignments = self._assign_blocked(X)
+
+        if self.quantizer is not None:
+            if not self.quantizer.trained:
+                self.quantizer.train(sample)
+            all_codes = self.quantizer.encode(X)
+
+        if self.record_bytes is None:
+            self.record_bytes = 8 + (
+                self.quantizer.code_bytes() if self.quantizer is not None
+                else dim * 4)
+
+        offset = 0
+        for cell in range(self.nlist):
+            ids = np.flatnonzero(assignments == cell).astype(np.int64)
+            self._lists.append(ids)
+            if self.quantizer is not None:
+                self._codes.append(all_codes[ids])
+            size = max(PAGE_SIZE,
+                       -(-len(ids) * self.record_bytes // PAGE_SIZE)
+                       * PAGE_SIZE)
+            self._extents.append((offset, size))
+            offset += size
+        self._disk_bytes = offset if self.on_disk else 0
+        self._built = True
+        return self
+
+    def _assign_blocked(self, X: np.ndarray,
+                        block: int = 4096) -> np.ndarray:
+        from repro.ann.distance import pairwise
+        out = np.empty(X.shape[0], dtype=np.int64)
+        for start in range(0, X.shape[0], block):
+            stop = min(start + block, X.shape[0])
+            out[start:stop] = pairwise(X[start:stop], self.centroids,
+                                       "l2").argmin(axis=1)
+        return out
+
+    # -- search -----------------------------------------------------------
+
+    def search(self, query: np.ndarray, k: int, *,
+               nprobe: int = 8) -> SearchResult:
+        self._require_built()
+        if nprobe < 1:
+            raise IndexError_(f"nprobe must be >= 1: {nprobe}")
+        nprobe = min(nprobe, self.nlist)
+        query = prepare_query(query, self.metric)
+        kernel = make_kernel(self._X, self._imetric)
+        work = WorkProfile()
+
+        centroid_kernel = make_kernel(self.centroids, self._imetric)
+        centroid_dists = centroid_kernel(query, slice(None))
+        work.add_cpu(full_evals=self.nlist)
+        probes = top_k(centroid_dists, nprobe)
+
+        if self.on_disk:
+            work.add_io([self._extents[cell] for cell in probes])
+
+        if self.quantizer is not None:
+            table = self.quantizer.adc_table(query)
+            work.add_cpu(table_builds=1)
+            chunks, ids = [], []
+            for cell in probes:
+                if len(self._lists[cell]) == 0:
+                    continue
+                chunks.append(ProductQuantizer.adc_distances(
+                    table, self._codes[cell]))
+                ids.append(self._lists[cell])
+                work.add_cpu(pq_evals=len(self._lists[cell]))
+        else:
+            chunks, ids = [], []
+            for cell in probes:
+                if len(self._lists[cell]) == 0:
+                    continue
+                chunks.append(kernel(query, self._lists[cell]))
+                ids.append(self._lists[cell])
+                work.add_cpu(full_evals=len(self._lists[cell]))
+
+        if not chunks:
+            return SearchResult(ids=np.empty(0, dtype=np.int64), work=work,
+                                dists=np.empty(0, dtype=np.float32))
+        all_dists = np.concatenate(chunks)
+        all_ids = np.concatenate(ids)
+        order = top_k(all_dists, k)
+        return SearchResult(ids=all_ids[order], work=work,
+                            dists=all_dists[order].astype(np.float32))
+
+    # -- footprints --------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        self._require_built()
+        total = self.centroids.nbytes
+        if self.on_disk:
+            return total  # posting lists live on the device
+        total += self._X.nbytes
+        total += sum(c.nbytes for c in self._codes)
+        return total
+
+    def disk_bytes(self) -> int:
+        self._require_built()
+        return self._disk_bytes
+
+    def list_sizes(self) -> np.ndarray:
+        """Posting-list populations (used in ablations and tests)."""
+        self._require_built()
+        return np.asarray([len(ids) for ids in self._lists])

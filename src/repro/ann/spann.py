@@ -1,0 +1,194 @@
+"""SPANN: the cluster-based storage index (Chen et al., paper ref [29]).
+
+The paper's background section contrasts two storage-based index
+families: graph-based (DiskANN, which it measures) and cluster-based
+(SPANN, which none of its databases support).  Implementing SPANN makes
+the comparison the paper cites from [30] reproducible here:
+
+* vectors are partitioned into many *posting lists*; each list is laid
+  out contiguously on the SSD, matching its access granularity;
+* the centroids stay in memory under an HNSW index for fast candidate
+  selection (paper Section II-B: "the centroids can be further managed
+  by a graph index");
+* **boundary replication**: a vector joins every cluster whose centroid
+  is within ``(1 + closure_eps)`` of its nearest centroid, up to
+  ``max_replicas`` (8 in SPANN) — higher recall at the price of space
+  amplification;
+* **query-time pruning**: posting lists whose centroid is farther than
+  ``(1 + prune_eps)`` of the closest selected centroid are skipped.
+
+A query costs one centroid search (memory) plus a *single parallel
+round* of posting-list reads — large sequential requests instead of
+DiskANN's dependent chain of 4 KiB reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ann.base import VectorIndex
+from repro.ann.distance import make_kernel, prepare, prepare_query, top_k
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.kmeans import kmeans
+from repro.ann.workprofile import SearchResult, WorkProfile
+from repro.errors import IndexError_
+from repro.storage.spec import PAGE_SIZE
+
+
+class SPANNIndex(VectorIndex):
+    """Centroids in memory (HNSW), replicated posting lists on disk."""
+
+    kind = "spann"
+    storage_based = True
+
+    def __init__(self, metric: str = "l2", n_postings: int | None = None,
+                 max_replicas: int = 8, closure_eps: float = 0.15,
+                 storage_dim: int | None = None,
+                 centroid_ef_construction: int = 100,
+                 seed: int = 0) -> None:
+        """
+        Args:
+            n_postings: number of posting lists (default n/64, min 8).
+            max_replicas: replication cap for boundary vectors (SPANN
+                replicates up to 8x, paper Section II-B).
+            closure_eps: a vector replicates into clusters whose
+                centroid distance is within (1+eps) of its nearest.
+            storage_dim: nominal on-disk dimensionality.
+        """
+        if max_replicas < 1 or closure_eps < 0:
+            raise IndexError_(
+                f"bad SPANN params: replicas={max_replicas} "
+                f"eps={closure_eps}")
+        super().__init__(metric)
+        self.n_postings = n_postings
+        self.max_replicas = max_replicas
+        self.closure_eps = closure_eps
+        self.storage_dim = storage_dim
+        self.centroid_ef_construction = centroid_ef_construction
+        self.seed = seed
+        self.centroids: np.ndarray | None = None
+        self.centroid_index: HNSWIndex | None = None
+        self._X: np.ndarray | None = None
+        self._imetric = "l2"
+        self._lists: list[np.ndarray] = []
+        self._extents: list[tuple[int, int]] = []
+        self._disk_bytes = 0
+        self._replicas = 0
+
+    # -- construction -----------------------------------------------------
+
+    def build(self, X: np.ndarray) -> "SPANNIndex":
+        X = np.asarray(X, dtype=np.float32)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise IndexError_(f"SPANN needs non-empty 2D data: {X.shape}")
+        self._X, self._imetric = prepare(X, self.metric)
+        n, dim = self._X.shape
+        if self.storage_dim is None:
+            self.storage_dim = dim
+        if self.n_postings is None:
+            self.n_postings = max(8, n // 64)
+        if self.n_postings > n:
+            raise IndexError_(
+                f"n_postings {self.n_postings} exceeds dataset size {n}")
+
+        rng = np.random.default_rng(self.seed)
+        sample = self._X if n <= 20_000 else (
+            self._X[rng.choice(n, 20_000, replace=False)])
+        self.centroids, _ = kmeans(sample, self.n_postings, seed=self.seed)
+        self.centroid_index = HNSWIndex(
+            metric=self._imetric if self._imetric != "l2n" else "l2",
+            M=8, ef_construction=self.centroid_ef_construction,
+            seed=self.seed).build(self._prepare_centroids())
+
+        members: list[list[int]] = [[] for _ in range(self.n_postings)]
+        kernel = make_kernel(self.centroids, "l2")
+        replicas = 0
+        for row in range(n):
+            dists = kernel(self._X[row], slice(None))
+            order = top_k(dists, self.max_replicas)
+            nearest = float(dists[order[0]])
+            threshold = (1.0 + self.closure_eps) ** 2 * max(nearest, 1e-12)
+            for cell in order:
+                if float(dists[cell]) <= threshold or cell == order[0]:
+                    members[int(cell)].append(row)
+                    replicas += 1
+        self._replicas = replicas
+
+        record_bytes = 8 + 4 * self.storage_dim
+        offset = 0
+        for cell in range(self.n_postings):
+            ids = np.asarray(members[cell], dtype=np.int64)
+            self._lists.append(ids)
+            size = max(PAGE_SIZE,
+                       -(-len(ids) * record_bytes // PAGE_SIZE) * PAGE_SIZE)
+            self._extents.append((offset, size))
+            offset += size
+        self._disk_bytes = offset
+        self._built = True
+        return self
+
+    def _prepare_centroids(self) -> np.ndarray:
+        # Centroids of l2n-prepared data are not unit vectors; index
+        # them under plain L2, which ranks identically for our use.
+        return np.ascontiguousarray(self.centroids, dtype=np.float32)
+
+    # -- search -----------------------------------------------------------
+
+    def search(self, query: np.ndarray, k: int, *, nprobe: int = 8,
+               prune_eps: float = 0.3) -> SearchResult:
+        """Top-k via nprobe posting lists (after distance pruning)."""
+        self._require_built()
+        if nprobe < 1:
+            raise IndexError_(f"nprobe must be >= 1: {nprobe}")
+        nprobe = min(nprobe, self.n_postings)
+        query = prepare_query(query, self.metric)
+        work = WorkProfile()
+
+        # Centroid candidates via the in-memory HNSW (paper Fig. 1a's
+        # graph-managed centroids).
+        centroid_hits = self.centroid_index.search(
+            query, nprobe, ef_search=max(2 * nprobe, 16))
+        work.steps.extend(centroid_hits.work.steps)
+        selected = centroid_hits.ids
+        dists = centroid_hits.dists
+        # Query-time pruning against the closest selected centroid.
+        closest = float(dists[0])
+        keep = [int(cell) for cell, d in zip(selected, dists)
+                if float(d) <= (1.0 + prune_eps) ** 2 * max(closest, 1e-12)]
+
+        work.add_io([self._extents[cell] for cell in keep])
+
+        kernel = make_kernel(self._X, self._imetric)
+        best: dict[int, float] = {}
+        for cell in keep:
+            ids = self._lists[cell]
+            if len(ids) == 0:
+                continue
+            cell_dists = kernel(query, ids)
+            work.add_cpu(full_evals=len(ids))
+            for row, dist in zip(ids, cell_dists):
+                row = int(row)
+                dist = float(dist)
+                if row not in best or dist < best[row]:
+                    best[row] = dist     # replicas deduplicate here
+        ranked = sorted(best.items(), key=lambda item: item[1])[:k]
+        return SearchResult(
+            ids=np.asarray([row for row, _d in ranked], dtype=np.int64),
+            work=work,
+            dists=np.asarray([d for _row, d in ranked], dtype=np.float32))
+
+    # -- footprints --------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        self._require_built()
+        return int(self.centroids.nbytes
+                   + self.centroid_index.memory_bytes())
+
+    def disk_bytes(self) -> int:
+        self._require_built()
+        return self._disk_bytes
+
+    def space_amplification(self) -> float:
+        """On-disk replicas per vector (SPANN's cost, paper II-B)."""
+        self._require_built()
+        return self._replicas / self._X.shape[0]

@@ -1,0 +1,57 @@
+"""Scalar quantization: per-dimension linear mapping to int8.
+
+LanceDB's memory-based HNSW index only supports scalar-quantized vectors
+(paper Section III-C); the quantization error is one reason its tuned
+``efSearch`` values are higher than the other databases' (Table II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+
+class ScalarQuantizer:
+    """Per-dimension min/max affine quantizer to uint8."""
+
+    LEVELS = 255
+
+    def __init__(self) -> None:
+        self.lo: np.ndarray | None = None
+        self.scale: np.ndarray | None = None
+
+    @property
+    def trained(self) -> bool:
+        return self.lo is not None
+
+    def train(self, X: np.ndarray) -> "ScalarQuantizer":
+        """Learn per-dimension ranges from training vectors."""
+        X = np.asarray(X, dtype=np.float32)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise IndexError_(f"bad training shape: {X.shape}")
+        self.lo = X.min(axis=0)
+        span = X.max(axis=0) - self.lo
+        span[span == 0.0] = 1.0
+        self.scale = span / self.LEVELS
+        return self
+
+    def _require_trained(self) -> None:
+        if not self.trained:
+            raise IndexError_("scalar quantizer used before train()")
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Quantize to uint8 codes of the same shape."""
+        self._require_trained()
+        X = np.asarray(X, dtype=np.float32)
+        codes = np.rint((X - self.lo) / self.scale)
+        return np.clip(codes, 0, self.LEVELS).astype(np.uint8)
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        """Reconstruct approximate float vectors."""
+        self._require_trained()
+        return codes.astype(np.float32) * self.scale + self.lo
+
+    def code_bytes(self, dim: int) -> int:
+        """Bytes per encoded vector (1 byte per dimension)."""
+        return dim

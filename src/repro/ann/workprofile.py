@@ -1,0 +1,122 @@
+"""Work accounting for index searches.
+
+Every index search in this library does the *real* algorithmic work and,
+alongside the result ids, returns a :class:`WorkProfile` describing what
+that work was: how many distance evaluations of which kind, and — for
+storage-based indexes — the exact block reads issued, batched into the
+dependent rounds the algorithm actually performs (a DiskANN beam is one
+:class:`IoStep`; the next beam depends on its results).
+
+The engine layer replays these profiles on the discrete-event simulator
+to obtain latency, throughput, CPU, and I/O traces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+
+@dataclasses.dataclass(frozen=True)
+class CpuStep:
+    """A stretch of pure computation between I/O rounds.
+
+    ``full_evals`` are full-precision distance evaluations, ``pq_evals``
+    are table-lookup (product-quantized) evaluations, ``table_builds``
+    counts ADC table constructions (one per query for PQ indexes).
+    """
+
+    full_evals: int = 0
+    pq_evals: int = 0
+    table_builds: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class IoStep:
+    """One dependent round of parallel block reads.
+
+    *requests* hold (offset, size) pairs relative to the index file;
+    *cache_hits* counts node fetches served from the index's own node
+    cache (they consume no device time but are part of the algorithm's
+    footprint accounting).
+    """
+
+    requests: tuple[tuple[int, int], ...]
+    cache_hits: int = 0
+
+
+Step = t.Union[CpuStep, IoStep]
+
+
+@dataclasses.dataclass
+class WorkProfile:
+    """The full work trace of a single-query search."""
+
+    steps: list[Step] = dataclasses.field(default_factory=list)
+
+    def add_cpu(self, full_evals: int = 0, pq_evals: int = 0,
+                table_builds: int = 0) -> None:
+        """Append computation, merging with a trailing CPU step."""
+        if self.steps and isinstance(self.steps[-1], CpuStep):
+            last = self.steps[-1]
+            self.steps[-1] = CpuStep(
+                last.full_evals + full_evals,
+                last.pq_evals + pq_evals,
+                last.table_builds + table_builds)
+        else:
+            self.steps.append(CpuStep(full_evals, pq_evals, table_builds))
+
+    def add_io(self, requests: t.Sequence[tuple[int, int]],
+               cache_hits: int = 0) -> None:
+        """Append one dependent round of parallel reads."""
+        self.steps.append(IoStep(tuple(requests), cache_hits))
+
+    # -- aggregate views used by tests and analysis ----------------------
+
+    @property
+    def full_evals(self) -> int:
+        return sum(s.full_evals for s in self.steps
+                   if isinstance(s, CpuStep))
+
+    @property
+    def pq_evals(self) -> int:
+        return sum(s.pq_evals for s in self.steps if isinstance(s, CpuStep))
+
+    @property
+    def table_builds(self) -> int:
+        return sum(s.table_builds for s in self.steps
+                   if isinstance(s, CpuStep))
+
+    @property
+    def io_rounds(self) -> int:
+        return sum(1 for s in self.steps
+                   if isinstance(s, IoStep) and s.requests)
+
+    @property
+    def io_requests(self) -> int:
+        return sum(len(s.requests) for s in self.steps
+                   if isinstance(s, IoStep))
+
+    @property
+    def io_bytes(self) -> int:
+        return sum(size for s in self.steps if isinstance(s, IoStep)
+                   for _off, size in s.requests)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.steps
+                   if isinstance(s, IoStep))
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Ids returned by a search, their distances, and the work done.
+
+    ``dists`` are in the index's internal metric units — comparable
+    across results of indexes built with the same metric, which is what
+    cross-segment merging needs.
+    """
+
+    ids: t.Any                    # np.ndarray of int64
+    work: WorkProfile
+    dists: t.Any = None           # np.ndarray of float32, or None

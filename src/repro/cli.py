@@ -1,0 +1,185 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    repro fio                      # Section III-A device baseline
+    repro table2                   # tuned parameters + recall
+    repro sweep -s milvus-hnsw -d cohere-1m
+    repro figure 2                 # any of 2..15
+    repro study -o report.txt      # everything, with observation checks
+    repro prebuild                 # build & cache all collections
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as t
+
+from repro.core import figures, report
+from repro.core.study import run_study
+from repro.core.tuning import tune_setup
+from repro.data.spec import DATASET_NAMES, current_scale
+from repro.workload.setup import SETUPS, make_runner
+
+
+def _parse_ints(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(","))
+
+
+def cmd_fio(_args: argparse.Namespace) -> int:
+    data = figures.ssd_baseline_data()
+    print(report.format_table(
+        ["metric", "paper", "measured"],
+        [["4 KiB randread, 1 core (KIOPS)", "324.3",
+          f"{data['single_core_4k_kiops']:.1f}"],
+         ["4 KiB randread, QD64 (MIOPS)", "1.3",
+          f"{data['deep_queue_4k_miops']:.2f}"],
+         ["128 KiB seqread (GiB/s)", "7.2",
+          f"{data['seq_128k_gib_s']:.1f}"],
+         ["QD1 mean latency (us)", "<100",
+          f"{data['qd1_mean_latency_us']:.1f}"]]))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    print(report.render_table2(figures.table2_data(args.datasets)))
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    tuned = tune_setup(args.setup, args.dataset)
+    print(f"{args.setup} on {args.dataset}: {tuned.param_dict} "
+          f"-> recall@10 {tuned.recall:.3f}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    results = figures.perf_sweep(args.setup, args.dataset,
+                                 threads=args.threads)
+    rows = []
+    for threads, result in zip(args.threads, results):
+        if result is None:
+            rows.append([threads, "OOM", "", "", ""])
+        else:
+            rows.append([threads, f"{result.qps:.0f}",
+                         f"{result.p99_latency_s * 1e6:.0f}",
+                         f"{100 * result.cpu_utilization:.0f}%",
+                         f"{result.read_bandwidth / (1 << 20):.1f}"])
+    print(report.format_table(
+        ["threads", "QPS", "P99 (us)", "CPU", "read MiB/s"], rows))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    number = args.number
+    datasets = args.datasets
+    if number == 2:
+        print(report.render_series_figure(
+            figures.fig2_throughput(datasets), "QPS", 0))
+    elif number == 3:
+        print(report.render_series_figure(
+            figures.fig3_latency(datasets), "P99us", 0))
+    elif number == 4:
+        print(report.render_series_figure(
+            figures.fig4_cpu(), "CPU%", 0))
+    elif number == 5:
+        print(report.render_fig5(figures.fig5_bandwidth_timeline(datasets)))
+    elif number == 6:
+        print(report.render_fig6(figures.fig6_per_query_io(datasets)))
+    elif number in (7, 8, 9, 10, 11):
+        print(report.render_searchlist_sweep(
+            figures.fig7_to_11_data(datasets)))
+    elif number in (12, 13, 14, 15):
+        print(report.render_beamwidth_sweep(
+            figures.fig12_to_15_data(datasets)))
+    else:
+        print(f"no figure {number} in the paper's evaluation",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    results = run_study(datasets=args.datasets,
+                        progress=lambda m: print(f"[study] {m}",
+                                                 file=sys.stderr))
+    if args.out and args.out.endswith(".md"):
+        report.write_experiments_md(results, args.out)
+        print(f"wrote {args.out}", file=sys.stderr)
+    elif args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.render_study(results) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(report.render_study(results))
+    failed = [c.obs_id for c in results.checks if not c.holds]
+    if failed:
+        print(f"observations differing from the paper: {failed}",
+              file=sys.stderr)
+    return 0
+
+
+def cmd_prebuild(args: argparse.Namespace) -> int:
+    for dataset in args.datasets:
+        for setup in SETUPS:
+            print(f"building {setup} on {dataset} "
+                  f"(scale={current_scale()})...", file=sys.stderr)
+            make_runner(setup, dataset)
+    print("all collections built and cached", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Storage-Based Approximate Nearest "
+                    "Neighbor Search' (IISWC 2025)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fio", help="device baseline").set_defaults(fn=cmd_fio)
+
+    p = sub.add_parser("table2", help="tuned parameters and recall")
+    p.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),
+                   choices=DATASET_NAMES)
+    p.set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("tune", help="tune one setup's search parameters")
+    p.add_argument("-s", "--setup", required=True, choices=tuple(SETUPS))
+    p.add_argument("-d", "--dataset", required=True, choices=DATASET_NAMES)
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser("sweep", help="concurrency sweep of one setup")
+    p.add_argument("-s", "--setup", required=True, choices=tuple(SETUPS))
+    p.add_argument("-d", "--dataset", required=True, choices=DATASET_NAMES)
+    p.add_argument("--threads", type=_parse_ints,
+                   default=figures.THREADS)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("figure", help="reproduce one paper figure")
+    p.add_argument("number", type=int)
+    p.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),
+                   choices=DATASET_NAMES)
+    p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser("study", help="run the whole evaluation")
+    p.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),
+                   choices=DATASET_NAMES)
+    p.add_argument("-o", "--out", default=None)
+    p.set_defaults(fn=cmd_study)
+
+    p = sub.add_parser("prebuild", help="build and cache all collections")
+    p.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),
+                   choices=DATASET_NAMES)
+    p.set_defaults(fn=cmd_prebuild)
+
+    return parser
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,176 @@
+"""Capacity and cost projection: scaling the measurements to billions.
+
+The paper closes with two forward-looking questions it could not answer
+on its testbed: (i) how do performance and I/O scale to billion-vector
+datasets (Section VIII), and (ii) will the SSD become the bottleneck
+there (the concern raised by KF-2/O-14)?  This module answers both
+analytically, anchored on *measured* per-query work from a proxy run
+and extrapolated with each index family's growth laws:
+
+* graph indexes (HNSW, DiskANN): per-query work grows ~log n; DiskANN's
+  I/O additionally grows as its fixed node-cache budget covers a
+  shrinking fraction of the index;
+* cluster indexes (IVF, SPANN): per-query scanned vectors grow ~sqrt n
+  (nlist ~ 4 sqrt(n) with balanced lists);
+* memory/disk footprints grow linearly with n.
+
+The result states which resource — CPU cores or the SSD — caps
+throughput at the target scale, and what the memory bill would be for a
+memory-based alternative: the performance/cost trade-off in the paper's
+title.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ReproError
+from repro.storage.spec import DeviceSpec, PAGE_SIZE, samsung_990pro_4tb
+from repro.workload.metrics import RunResult
+
+GRAPH_KINDS = ("hnsw", "hnsw-sq", "hnsw-mmap", "diskann")
+CLUSTER_KINDS = ("ivf", "ivf-pq", "spann")
+
+
+def work_growth(index_kind: str, n_from: int, n_to: int) -> float:
+    """Per-query work multiplier when the dataset grows n_from -> n_to."""
+    if n_from <= 0 or n_to <= 0:
+        raise ReproError(f"bad sizes: {n_from} -> {n_to}")
+    if index_kind in CLUSTER_KINDS:
+        return math.sqrt(n_to / n_from)
+    if index_kind in GRAPH_KINDS:
+        return math.log(max(n_to, 2)) / math.log(max(n_from, 2))
+    if index_kind == "flat":
+        return n_to / n_from
+    raise ReproError(f"no growth law for index kind {index_kind!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Projection:
+    """Projected behaviour of one setup at a target dataset size."""
+
+    index_kind: str
+    n_target: int
+    memory_bytes: int
+    disk_bytes: int
+    cpu_s_per_query: float
+    io_requests_per_query: float
+    io_bytes_per_query: float
+    cpu_bound_qps: float
+    device_bound_qps: float
+
+    @property
+    def max_qps(self) -> float:
+        return min(self.cpu_bound_qps, self.device_bound_qps)
+
+    @property
+    def bottleneck(self) -> str:
+        """'cpu' or 'device' — which resource caps throughput."""
+        return ("device" if self.device_bound_qps < self.cpu_bound_qps
+                else "cpu")
+
+
+def project(result: RunResult, *, index_kind: str, n_from: int, n_to: int,
+            vector_bytes: int, memory_bytes_from: int,
+            disk_bytes_from: int, cores: int = 20,
+            device: DeviceSpec | None = None,
+            node_cache_bytes: int = 0) -> Projection:
+    """Extrapolate a measured run to a target dataset size.
+
+    Args:
+        result: a measured (simulated) run at proxy scale, used as the
+            per-query work anchor; must have completed queries.
+        index_kind: which growth law applies.
+        n_from/n_to: proxy and target cardinalities.
+        vector_bytes: on-disk bytes per full-precision vector.
+        memory_bytes_from/disk_bytes_from: measured footprints at proxy
+            scale (scaled linearly).
+        node_cache_bytes: DiskANN's fixed cache budget — its coverage
+            shrinks at the target scale, raising per-query misses.
+    """
+    if result.completed <= 0:
+        raise ReproError("projection needs a run with completed queries")
+    device = device or samsung_990pro_4tb()
+    growth = work_growth(index_kind, n_from, n_to)
+    size_ratio = n_to / n_from
+
+    # CPU: measured core-seconds per query, times the work growth.
+    cpu_per_query = (result.cpu_utilization * cores * result.elapsed_s
+                     / result.completed)
+    cpu_to = cpu_per_query * growth
+
+    # I/O: request count follows the work law; for cached indexes the
+    # miss fraction additionally rises as the fixed budget covers less.
+    requests_from = (result.tracer and len(result.tracer.records)
+                     or result.read_bytes / PAGE_SIZE) / result.completed
+    bytes_from = result.per_query_read_bytes
+    miss_scale = 1.0
+    if node_cache_bytes > 0 and disk_bytes_from > 0:
+        cover_from = min(1.0, node_cache_bytes / disk_bytes_from)
+        cover_to = min(1.0, node_cache_bytes
+                       / (disk_bytes_from * size_ratio))
+        miss_from = max(1e-6, 1.0 - cover_from)
+        miss_scale = (1.0 - cover_to) / miss_from
+    requests_to = requests_from * growth * miss_scale
+    bytes_to = bytes_from * growth * miss_scale
+
+    cpu_bound = cores / cpu_to if cpu_to > 0 else float("inf")
+    if requests_to <= 0:
+        device_bound = float("inf")
+    else:
+        mean_request = max(PAGE_SIZE, bytes_to / requests_to)
+        iops_ceiling = device.max_read_iops(int(min(
+            mean_request, device.max_request_bytes)))
+        bandwidth_ceiling = device.max_read_bandwidth()
+        device_bound = min(iops_ceiling / requests_to,
+                           bandwidth_ceiling / max(bytes_to, 1.0))
+    return Projection(
+        index_kind=index_kind,
+        n_target=n_to,
+        memory_bytes=int(memory_bytes_from * size_ratio),
+        disk_bytes=int(disk_bytes_from * size_ratio),
+        cpu_s_per_query=cpu_to,
+        io_requests_per_query=requests_to,
+        io_bytes_per_query=bytes_to,
+        cpu_bound_qps=cpu_bound,
+        device_bound_qps=device_bound,
+    )
+
+
+def memory_saving(memory_based_bytes: int,
+                  storage_based_bytes: int) -> float:
+    """Fraction of DRAM a storage-based setup saves (the cost angle)."""
+    if memory_based_bytes <= 0:
+        raise ReproError("memory-based footprint must be positive")
+    return 1.0 - storage_based_bytes / memory_based_bytes
+
+
+# -- nominal footprint models (paper-scale accounting) -----------------------
+#
+# The proxies carry reduced-dimension vectors, so measured footprints
+# understate the paper-scale bill.  These closed forms account at the
+# *nominal* dimensionality — e.g. the paper's Section I example, a
+# 700 GiB HNSW index for 1B 96-d vectors, is what hnsw_memory_bytes
+# models (vectors + 2M links + ids).
+
+
+def hnsw_memory_bytes(n: int, vector_bytes: int, M: int = 16) -> int:
+    """Resident bytes of a memory-based HNSW index."""
+    if n <= 0 or vector_bytes <= 0:
+        raise ReproError(f"bad HNSW footprint args: n={n}")
+    return n * (vector_bytes + 4 * 2 * M + 8)
+
+
+def diskann_memory_bytes(n: int, pq_bytes: int,
+                         cache_bytes: int = 0) -> int:
+    """Resident bytes of DiskANN: PQ codes + node-cache budget."""
+    if n <= 0 or pq_bytes <= 0:
+        raise ReproError(f"bad DiskANN footprint args: n={n}")
+    return n * pq_bytes + cache_bytes
+
+
+def diskann_disk_bytes(n: int, storage_dim: int, R: int = 32) -> int:
+    """On-SSD bytes of DiskANN's sector-aligned graph file."""
+    from repro.ann.diskann import DiskLayout
+    return DiskLayout(storage_dim=storage_dim, R=R).total_bytes(n)

@@ -1,0 +1,106 @@
+"""The full characterization study: every experiment, one call.
+
+``run_study()`` executes the reproduction of every table and figure in
+the paper's evaluation and checks all shape observations; the result
+bundle feeds the CLI, the benchmark harness, and the EXPERIMENTS.md
+generator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.core import figures, observations
+from repro.core.figures import (BEAM_WIDTHS, SEARCH_LISTS, THREADS)
+from repro.core.observations import ObservationCheck
+from repro.data.spec import DATASET_NAMES
+from repro.storage.spec import samsung_990pro_4tb
+
+
+@dataclasses.dataclass
+class StudyResults:
+    """Everything the paper's evaluation section reports, reproduced."""
+
+    ssd_baseline: dict
+    table2: dict
+    fig2: dict
+    fig3: dict
+    fig4: dict
+    fig5: dict
+    fig6: dict
+    fig7_11: dict
+    fig12_15: dict
+    checks: list[ObservationCheck]
+    key_findings: dict[str, bool]
+
+    @property
+    def holds(self) -> dict[str, bool]:
+        return {check.obs_id: check.holds for check in self.checks}
+
+
+def run_observation_checks(fig2: dict, fig3: dict, fig5: dict, fig6: dict,
+                           fig7_11: dict, fig12_15: dict,
+                           ) -> list[ObservationCheck]:
+    """All observation checkers against reproduced figure data."""
+    device_max_mib_s = samsung_990pro_4tb().max_read_bandwidth() / (1 << 20)
+    return [
+        observations.check_o1_index_matters(fig2),
+        observations.check_o2_database_matters(fig2),
+        observations.check_o3_lancedb_slowest_single_thread(fig2),
+        observations.check_o4_superlinear_scaling(fig2),
+        observations.check_o5_milvus_plateaus_early(fig2),
+        observations.check_o6_dataset_scaling(fig2),
+        observations.check_o7_latency_ordering(fig3),
+        observations.check_o8_latency_spread(fig3),
+        observations.check_o10_no_saturation(fig5, device_max_mib_s),
+        observations.check_o12_concurrency_bandwidth_scaling(fig5),
+        observations.check_o13_per_query_volume_drops_with_concurrency(
+            fig6),
+        observations.check_o14_per_query_volume_grows_with_data(fig6),
+        observations.check_o15_4k_dominance(fig6),
+        observations.check_o16_diminishing_recall(fig7_11),
+        observations.check_o17_o18_throughput_cost(fig7_11),
+        observations.check_o19_latency_cost(fig7_11),
+        observations.check_o20_o21_bandwidth_cost(fig7_11,
+                                                  device_max_mib_s),
+        observations.check_o22_beamwidth_no_trend(fig12_15),
+    ]
+
+
+def run_study(datasets: t.Sequence[str] = DATASET_NAMES,
+              threads: t.Sequence[int] = THREADS,
+              search_lists: t.Sequence[int] = SEARCH_LISTS,
+              beam_widths: t.Sequence[int] = BEAM_WIDTHS,
+              progress: t.Callable[[str], None] | None = None,
+              ) -> StudyResults:
+    """Run every experiment of the paper's evaluation section."""
+    def report(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    report("fio baseline (Section III-A)")
+    ssd = figures.ssd_baseline_data()
+    report("Table II: tuning search parameters")
+    table2 = figures.table2_data(datasets)
+    report("Figures 2-4: throughput/latency/CPU sweeps")
+    fig2 = figures.fig2_throughput(datasets, threads=threads)
+    fig3 = figures.fig3_latency(datasets, threads=threads)
+    large = [d for d in ("cohere-10m", "openai-5m") if d in datasets]
+    fig4 = figures.fig4_cpu(large or datasets, threads=threads)
+    report("Figure 5: bandwidth timelines")
+    fig5 = figures.fig5_bandwidth_timeline(datasets)
+    report("Figure 6: per-query I/O")
+    fig6 = figures.fig6_per_query_io(datasets)
+    report("Figures 7-11: search_list sweeps")
+    fig7_11 = figures.fig7_to_11_data(datasets, search_lists)
+    report("Figures 12-15: beam_width sweeps")
+    fig12_15 = figures.fig12_to_15_data(datasets, beam_widths)
+    report("checking observations")
+    checks = run_observation_checks(fig2, fig3, fig5, fig6, fig7_11,
+                                    fig12_15)
+    return StudyResults(
+        ssd_baseline=ssd, table2=table2, fig2=fig2, fig3=fig3, fig4=fig4,
+        fig5=fig5, fig6=fig6, fig7_11=fig7_11, fig12_15=fig12_15,
+        checks=checks,
+        key_findings=observations.key_findings(checks))

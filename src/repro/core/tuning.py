@@ -1,0 +1,152 @@
+"""Search-parameter tuning: the paper's Table II methodology.
+
+Section III-C: *"we tune their key parameters to achieve recall@10 >=
+0.9 on Milvus and use the same key parameters across the four vector
+databases"*.  Concretely:
+
+* IVF — ``nlist = 4 * sqrt(n)`` at build; tune ``nprobe`` to the
+  smallest value reaching the target recall;
+* HNSW — ``M=16, efConstruction=200``; tune ``efSearch`` likewise;
+  LanceDB's quantized HNSW is tuned separately (its own column in
+  Table II);
+* DiskANN — tune ``search_list``; the paper finds the minimum value 10
+  already exceeds the target, and keeps 10;
+* LanceDB IVF-PQ — reuses Milvus-IVF's ``nprobe`` (raising it further
+  is prohibitively slow there); the achieved — lower — accuracy is
+  reported in parentheses, as the paper does.
+
+Tuned values are cached in the index store alongside the indexes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ann.store import IndexStore, cache_key, default_store
+from repro.data.groundtruth import recall_at_k
+from repro.data.registry import Dataset, load_dataset
+from repro.engines.engine import Collection
+from repro.errors import WorkloadError
+from repro.workload.setup import get_setup, prepare_collection
+
+RECALL_TARGET = 0.9
+#: DiskANN's minimum search_list; the paper pins it here (Section III-C).
+MIN_SEARCH_LIST = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class TunedSetup:
+    """The tuned search-time parameters and what they achieve."""
+
+    setup: str
+    dataset: str
+    params: tuple[tuple[str, int], ...]
+    recall: float
+
+    @property
+    def param_dict(self) -> dict[str, int]:
+        return dict(self.params)
+
+
+def measure_recall(collection: Collection, dataset: Dataset, k: int = 10,
+                   n_queries: int = 100, **params: int) -> float:
+    """Functional recall@k of a collection under given parameters."""
+    queries = dataset.queries[:n_queries]
+    truth = dataset.ground_truth(k)[:n_queries]
+    found = [collection.search(q, k, **params).ids for q in queries]
+    return recall_at_k(truth, found, k)
+
+
+def smallest_passing(evaluate, low: int, high: int,
+                     target: float) -> tuple[int, float]:
+    """Smallest integer parameter in [low, high] reaching *target*.
+
+    Doubles up from *low* to bracket, then binary-searches.  Returns
+    (value, recall); if even *high* misses the target, returns *high*
+    and its recall — the caller reports the shortfall like the paper's
+    parenthesized accuracies.
+    """
+    if low > high:
+        raise WorkloadError(f"bad bracket [{low}, {high}]")
+    recalls: dict[int, float] = {}
+
+    def recall_of(value: int) -> float:
+        if value not in recalls:
+            recalls[value] = evaluate(value)
+        return recalls[value]
+
+    # Bracket by doubling.
+    value = low
+    while value < high and recall_of(value) < target:
+        value = min(high, value * 2)
+    if recall_of(value) < target:
+        return value, recall_of(value)
+    # Binary refine to the smallest passing value.
+    lo, hi = low, value
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if recall_of(mid) >= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo, recall_of(lo)
+
+
+def tune_setup(setup_name: str, dataset_name: str,
+               scale: str | None = None, store: IndexStore | None = None,
+               target: float = RECALL_TARGET) -> TunedSetup:
+    """Tune (and cache) the search-time parameters of one setup."""
+    store = store or default_store()
+    dataset = load_dataset(dataset_name, scale)
+    key = cache_key(what="tuned-v2", setup=setup_name,
+                    dataset=dataset_name, n=dataset.spec.n, target=target)
+    return store.get_or_build(
+        key, lambda: _tune(setup_name, dataset, store, target))
+
+
+def _tune(setup_name: str, dataset: Dataset, store: IndexStore,
+          target: float) -> TunedSetup:
+    setup = get_setup(setup_name)
+    engine = prepare_collection(setup_name, dataset, store)
+    collection = engine.collection(dataset.spec.name)
+
+    if setup.tunable == "nprobe":
+        if setup.index_kind == "ivf-pq":
+            # LanceDB-IVF: reuse Milvus-IVF's tuned nprobe (paper III-C).
+            milvus = tune_setup("milvus-ivf", dataset.spec.name,
+                                store=store, target=target)
+            nprobe = milvus.param_dict["nprobe"]
+            recall = measure_recall(collection, dataset, nprobe=nprobe)
+            return TunedSetup(setup_name, dataset.spec.name,
+                              (("nprobe", nprobe),), recall)
+        nlist = collection.segments[0].index.nlist
+        value, recall = smallest_passing(
+            lambda v: measure_recall(collection, dataset, nprobe=v),
+            low=1, high=nlist, target=target)
+        return TunedSetup(setup_name, dataset.spec.name,
+                          (("nprobe", value),), recall)
+
+    if setup.tunable == "ef_search":
+        if setup_name in ("qdrant-hnsw", "weaviate-hnsw"):
+            # Paper Section III-C: parameters are tuned on Milvus and
+            # the *same* values are used across the other databases.
+            milvus = tune_setup("milvus-hnsw", dataset.spec.name,
+                                store=store, target=target)
+            ef = milvus.param_dict["ef_search"]
+            recall = measure_recall(collection, dataset, ef_search=ef)
+            return TunedSetup(setup_name, dataset.spec.name,
+                              (("ef_search", ef),), recall)
+        value, recall = smallest_passing(
+            lambda v: measure_recall(collection, dataset, ef_search=v),
+            low=10, high=512, target=target)
+        return TunedSetup(setup_name, dataset.spec.name,
+                          (("ef_search", value),), recall)
+
+    if setup.tunable == "search_list":
+        value, recall = smallest_passing(
+            lambda v: measure_recall(collection, dataset, search_list=v),
+            low=MIN_SEARCH_LIST, high=512, target=target)
+        return TunedSetup(setup_name, dataset.spec.name,
+                          (("search_list", value),), recall)
+
+    raise WorkloadError(f"no tuning rule for {setup.tunable!r}")

@@ -1,0 +1,23 @@
+"""Synthetic proxy datasets for the paper's Cohere/OpenAI workloads."""
+
+from repro.data.groundtruth import exact_knn, recall_at_k
+from repro.data.registry import Dataset, load_dataset
+from repro.data.spec import (DATASET_NAMES, SCALE_FACTORS, SCALING_PAIRS,
+                             DatasetSpec, current_scale, get_spec)
+from repro.data.synthetic import make_dataset_vectors, make_queries, make_vectors
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "DatasetSpec",
+    "SCALE_FACTORS",
+    "SCALING_PAIRS",
+    "current_scale",
+    "exact_knn",
+    "get_spec",
+    "load_dataset",
+    "make_dataset_vectors",
+    "make_queries",
+    "make_vectors",
+    "recall_at_k",
+]

@@ -1,0 +1,65 @@
+"""Loading datasets: generation + ground truth with in-process caching.
+
+``load_dataset("cohere-1m")`` is the single entry point used by tests,
+examples, and the benchmark harness.  Vectors are deterministic in the
+spec's seed, so repeated loads (and loads in different processes) see
+identical data.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.data.groundtruth import exact_knn
+from repro.data.spec import DatasetSpec, get_spec
+from repro.data.synthetic import make_dataset_vectors, make_queries
+
+
+class Dataset:
+    """A generated dataset: vectors, queries, and lazy ground truth."""
+
+    def __init__(self, spec: DatasetSpec, vectors: np.ndarray,
+                 queries: np.ndarray) -> None:
+        self.spec = spec
+        self.vectors = vectors
+        self.queries = queries
+        self._truth: dict[int, np.ndarray] = {}
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.vectors.shape[1]
+
+    def ground_truth(self, k: int = 10) -> np.ndarray:
+        """Exact top-k ids per query, computed once per k."""
+        if k not in self._truth:
+            self._truth[k] = exact_knn(self.vectors, self.queries, k,
+                                       self.spec.metric)
+        return self._truth[k]
+
+
+@functools.lru_cache(maxsize=8)
+def _load(name: str, scale: str) -> Dataset:
+    spec = get_spec(name, scale)
+    vectors = make_dataset_vectors(spec)
+    return Dataset(spec, vectors, make_queries(spec, vectors))
+
+
+def load_dataset(name: str, scale: str | None = None) -> Dataset:
+    """Load (generating on first use) a named dataset at a scale."""
+    spec = get_spec(name, scale)  # validates name/scale eagerly
+    return _load(spec.name, scale or _scale_of(spec))
+
+
+def _scale_of(spec: DatasetSpec) -> str:
+    from repro.data.spec import current_scale
+    return current_scale()

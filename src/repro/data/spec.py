@@ -1,0 +1,106 @@
+"""Dataset specifications: scaled-down proxies of the paper's datasets.
+
+The paper benchmarks four VectorDBBench datasets — Cohere 1M/10M (768-d)
+and OpenAI 500K/5M (1536-d).  Those embeddings are not available
+offline, so each dataset is replaced by a clustered synthetic proxy
+that preserves the properties the experiments depend on:
+
+* the **10x cardinality ratio** between the small and large variant of
+  each family (drives every scaling observation);
+* the **nominal dimensionality** (768/1536), used for on-disk record
+  layout so the I/O geometry matches (one vs two sectors per node);
+* the 2x dimension ratio between families, reflected in the intrinsic
+  dimension of the generated vectors (96 vs 192) and in distance cost;
+* cosine as the similarity metric, as VectorDBBench uses for both.
+
+``REPRO_SCALE`` (tiny/small/medium) multiplies all cardinalities; the
+10x ratios are preserved at every scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.errors import DatasetError
+
+SCALE_FACTORS = {"tiny": 1, "small": 4, "medium": 16}
+
+DEFAULT_SCALE_ENV = "REPRO_SCALE"
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSpec:
+    """Identity and geometry of one benchmark dataset."""
+
+    name: str
+    n: int                 # vectors at the chosen scale
+    dim: int               # intrinsic dimension of generated vectors
+    storage_dim: int       # nominal on-disk dimension (paper's)
+    n_queries: int
+    paper_n: int           # cardinality in the paper
+    n_clusters: int
+    latent_dim: int = 16
+    metric: str = "cosine"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.dim <= 0 or self.n_queries <= 0:
+            raise DatasetError(f"bad dataset spec: {self}")
+
+    @property
+    def vector_bytes(self) -> int:
+        """On-disk bytes of one full-precision vector."""
+        return 4 * self.storage_dim
+
+
+#: Per-dataset base geometry at scale factor 1 ("tiny").
+_BASE = {
+    "cohere-1m": dict(n=4_000, dim=96, storage_dim=768,
+                      paper_n=1_000_000, seed=11, latent_dim=20),
+    "cohere-10m": dict(n=40_000, dim=96, storage_dim=768,
+                       paper_n=10_000_000, seed=12, latent_dim=20),
+    "openai-500k": dict(n=2_000, dim=192, storage_dim=1536,
+                        paper_n=500_000, seed=13, latent_dim=16),
+    "openai-5m": dict(n=20_000, dim=192, storage_dim=1536,
+                      paper_n=5_000_000, seed=14, latent_dim=16),
+}
+
+DATASET_NAMES = tuple(_BASE)
+
+#: The paper pairs each small dataset with its 10x sibling.
+SCALING_PAIRS = (("cohere-1m", "cohere-10m"), ("openai-500k", "openai-5m"))
+
+
+def current_scale() -> str:
+    """The scale selected via ``REPRO_SCALE`` (default: tiny)."""
+    scale = os.environ.get(DEFAULT_SCALE_ENV, "tiny")
+    if scale not in SCALE_FACTORS:
+        raise DatasetError(
+            f"unknown {DEFAULT_SCALE_ENV}={scale!r}; "
+            f"choose from {sorted(SCALE_FACTORS)}")
+    return scale
+
+
+def get_spec(name: str, scale: str | None = None) -> DatasetSpec:
+    """Look up a dataset spec at the given (or environment) scale."""
+    if name not in _BASE:
+        raise DatasetError(
+            f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    scale = scale or current_scale()
+    if scale not in SCALE_FACTORS:
+        raise DatasetError(f"unknown scale {scale!r}")
+    base = _BASE[name]
+    factor = SCALE_FACTORS[scale]
+    n = base["n"] * factor
+    return DatasetSpec(
+        name=name,
+        n=n,
+        dim=base["dim"],
+        storage_dim=base["storage_dim"],
+        n_queries=200,
+        paper_n=base["paper_n"],
+        n_clusters=max(16, int(round(n ** 0.5 / 2))),
+        latent_dim=base["latent_dim"],
+        seed=base["seed"],
+    )

@@ -1,0 +1,47 @@
+"""Simulated vector-database engines (Milvus/Qdrant/Weaviate/LanceDB).
+
+One functional engine implementation (collections, WAL, payload filters,
+segments, index building, merged search) parameterized by calibrated
+:class:`EngineProfile` architecture descriptions of the paper's four
+systems.
+"""
+
+from repro.engines.costmodel import CostModel
+from repro.engines.engine import (INDEX_KINDS, Collection, IndexSpec,
+                                  SearchResponse, VectorEngine, build_index)
+from repro.engines.mmap import MmapHNSWIndex, wrap_mmap
+from repro.engines.payload import Filter, PayloadStore, Predicate
+from repro.engines.profiles import (ENGINE_NAMES, PAPER_CPU_CORES,
+                                    EngineProfile, get_profile,
+                                    lancedb_profile, milvus_profile,
+                                    qdrant_profile, weaviate_profile)
+from repro.engines.segments import GrowingBuffer, Segment, plan_segments
+from repro.engines.wal import WalEntry, WriteAheadLog
+
+__all__ = [
+    "Collection",
+    "CostModel",
+    "ENGINE_NAMES",
+    "EngineProfile",
+    "Filter",
+    "GrowingBuffer",
+    "INDEX_KINDS",
+    "MmapHNSWIndex",
+    "IndexSpec",
+    "PAPER_CPU_CORES",
+    "PayloadStore",
+    "Predicate",
+    "SearchResponse",
+    "Segment",
+    "VectorEngine",
+    "WalEntry",
+    "WriteAheadLog",
+    "build_index",
+    "wrap_mmap",
+    "get_profile",
+    "lancedb_profile",
+    "milvus_profile",
+    "plan_segments",
+    "qdrant_profile",
+    "weaviate_profile",
+]

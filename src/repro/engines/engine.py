@@ -1,0 +1,396 @@
+"""The vector-database engine: collections, mutations, indexed search.
+
+One engine class serves all four systems; an
+:class:`~repro.engines.profiles.EngineProfile` selects the architecture
+(segment size, supported indexes, overheads).  The engine is a *real*
+database over the proxy datasets — insert/delete with WAL durability,
+payload filtering, segment sealing, index building, top-k merging — and
+every search can also return the per-segment
+:class:`~repro.ann.workprofile.WorkProfile` that the timing layer
+replays on the simulated hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import typing as t
+from pathlib import Path
+
+import numpy as np
+
+from repro.ann.base import VectorIndex
+from repro.ann.diskann import DiskANNIndex
+from repro.ann.flat import FlatIndex
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.ivf import IVFIndex
+from repro.ann.pq import ProductQuantizer
+from repro.ann.sq import ScalarQuantizer
+from repro.ann.workprofile import WorkProfile
+from repro.engines.payload import Filter, Payload, PayloadStore
+from repro.engines.profiles import EngineProfile, get_profile
+from repro.engines.segments import GrowingBuffer, Segment, plan_segments
+from repro.engines.wal import WriteAheadLog
+from repro.errors import (CollectionNotFoundError, EngineError,
+                          OutOfMemoryError)
+
+INDEX_KINDS = ("flat", "ivf", "hnsw", "diskann", "ivf-pq", "hnsw-sq",
+               "hnsw-mmap", "spann")
+
+
+@dataclasses.dataclass(frozen=True)
+class IndexSpec:
+    """What index a collection builds over its sealed segments."""
+
+    kind: str
+    metric: str = "cosine"
+    params: tuple[tuple[str, t.Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in INDEX_KINDS:
+            raise EngineError(
+                f"unknown index kind {self.kind!r}; one of {INDEX_KINDS}")
+
+    @classmethod
+    def of(cls, kind: str, metric: str = "cosine",
+           **params: t.Any) -> "IndexSpec":
+        return cls(kind, metric, tuple(sorted(params.items())))
+
+    @property
+    def param_dict(self) -> dict[str, t.Any]:
+        return dict(self.params)
+
+
+@dataclasses.dataclass
+class SearchResponse:
+    """Merged search output plus the work that produced it."""
+
+    ids: np.ndarray
+    dists: np.ndarray
+    #: One work profile per searched segment (plus the growing buffer).
+    works: list[WorkProfile]
+
+    @property
+    def total_work(self) -> WorkProfile:
+        merged = WorkProfile()
+        for work in self.works:
+            merged.steps.extend(work.steps)
+        return merged
+
+
+def build_index(spec: IndexSpec, vectors: np.ndarray, storage_dim: int,
+                profile: EngineProfile, seed: int = 0) -> VectorIndex:
+    """Construct the index a spec describes over *vectors*."""
+    params = spec.param_dict
+    dim = vectors.shape[1]
+    if spec.kind == "flat":
+        return FlatIndex(metric=spec.metric).build(vectors)
+    if spec.kind == "ivf":
+        return IVFIndex(metric=spec.metric, nlist=params.get("nlist"),
+                        seed=seed).build(vectors)
+    if spec.kind == "hnsw":
+        return HNSWIndex(metric=spec.metric, M=params.get("M", 16),
+                         ef_construction=params.get("ef_construction", 200),
+                         seed=seed).build(vectors)
+    if spec.kind == "diskann":
+        return DiskANNIndex(
+            metric=spec.metric, R=params.get("R", 32),
+            L_build=params.get("L_build", 96),
+            alpha=params.get("alpha", 1.3),
+            storage_dim=storage_dim,
+            cache_bytes=profile.diskann_cache_bytes,
+            lru_bytes=profile.diskann_lru_bytes,
+            seed=seed).build(vectors)
+    if spec.kind == "ivf-pq":
+        quantizer = ProductQuantizer(dim, m=params.get("pq_m", dim // 4),
+                                     seed=seed)
+        return IVFIndex(metric=spec.metric, nlist=params.get("nlist"),
+                        quantizer=quantizer, on_disk=True,
+                        record_bytes=8 + (storage_dim // dim) *
+                        quantizer.code_bytes(),
+                        seed=seed).build(vectors)
+    if spec.kind == "spann":
+        from repro.ann.spann import SPANNIndex
+        return SPANNIndex(
+            metric=spec.metric,
+            n_postings=params.get("n_postings"),
+            max_replicas=params.get("max_replicas", 8),
+            closure_eps=params.get("closure_eps", 0.15),
+            storage_dim=storage_dim, seed=seed).build(vectors)
+    if spec.kind == "hnsw-mmap":
+        # Qdrant's storage-based setup: graph in memory, vectors paged
+        # from an mmap'ed file through the OS page cache.
+        from repro.engines.mmap import MmapHNSWIndex
+        return MmapHNSWIndex(
+            metric=spec.metric, M=params.get("M", 16),
+            ef_construction=params.get("ef_construction", 200),
+            storage_dim=storage_dim,
+            cache_bytes=params.get("cache_bytes", 1 << 30),
+            seed=seed).build(vectors)
+    if spec.kind == "hnsw-sq":
+        # LanceDB's HNSW stores scalar-quantized vectors: build the
+        # graph over the decoded (lossy) representation.
+        sq = ScalarQuantizer().train(vectors)
+        decoded = sq.decode(sq.encode(vectors))
+        return HNSWIndex(metric=spec.metric, M=params.get("M", 16),
+                         ef_construction=params.get("ef_construction", 200),
+                         seed=seed).build(decoded)
+    raise EngineError(f"unhandled index kind {spec.kind!r}")
+
+
+class Collection:
+    """A named set of vectors with payloads, segments, and an index."""
+
+    def __init__(self, name: str, dim: int, index_spec: IndexSpec,
+                 profile: EngineProfile, storage_dim: int | None = None,
+                 seed: int = 0) -> None:
+        if dim <= 0:
+            raise EngineError(f"bad dimension: {dim}")
+        self.name = name
+        self.dim = dim
+        self.storage_dim = storage_dim or dim
+        self.index_spec = index_spec
+        self.profile = profile
+        self.seed = seed
+        self.wal = WriteAheadLog()
+        self.payloads = PayloadStore()
+        self.segments: list[Segment] = []
+        self.growing = GrowingBuffer(dim, index_spec.metric)
+        self.tombstones: set[int] = set()
+        self._next_row_id = 0
+
+    # -- mutations -------------------------------------------------------
+
+    def insert(self, vectors: np.ndarray,
+               payloads: t.Sequence[Payload | None] | None = None,
+               ) -> np.ndarray:
+        """Append vectors (and payloads); returns their new row ids."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim == 1:
+            vectors = vectors.reshape(1, -1)
+        if vectors.shape[1] != self.dim:
+            raise EngineError(
+                f"{self.name}: inserting dim {vectors.shape[1]} into "
+                f"dim-{self.dim} collection")
+        if payloads is not None and len(payloads) != len(vectors):
+            raise EngineError(
+                f"{len(payloads)} payloads for {len(vectors)} vectors")
+        ids = np.empty(len(vectors), dtype=np.int64)
+        for i, vector in enumerate(vectors):
+            row_id = self._next_row_id
+            self._next_row_id += 1
+            payload = payloads[i] if payloads is not None else None
+            self.wal.append("insert", row_id, vector, payload)
+            self.growing.append(row_id, vector)
+            self.payloads.put(row_id, payload)
+            ids[i] = row_id
+        return ids
+
+    def delete(self, row_ids: t.Iterable[int]) -> int:
+        """Tombstone rows; returns how many existed."""
+        deleted = 0
+        for row_id in row_ids:
+            row_id = int(row_id)
+            if 0 <= row_id < self._next_row_id and (
+                    row_id not in self.tombstones):
+                self.wal.append("delete", row_id)
+                self.tombstones.add(row_id)
+                self.payloads.delete(row_id)
+                deleted += 1
+        return deleted
+
+    def flush(self) -> list[Segment]:
+        """Seal the growing buffer into indexed segments.
+
+        DiskANN collections are sealed monolithically (one index holding
+        all rows) so the on-disk graph stays contiguous; segmented
+        engines split by the profile's segment capacity.
+        """
+        if len(self.growing) == 0:
+            return []
+        row_ids, vectors = self.growing.drain()
+        if self.index_spec.kind == "diskann" and self.segments:
+            # Re-seal everything into one graph (compaction).
+            row_ids = np.concatenate(
+                [seg.row_ids for seg in self.segments] + [row_ids])
+            vectors = np.vstack(
+                [seg.vectors for seg in self.segments] + [vectors])
+            self.segments.clear()
+        segment_bytes = (None if self.index_spec.kind == "diskann"
+                         else self.profile.segment_bytes)
+        vector_bytes = 4 * self.storage_dim
+        created = []
+        for start, stop in plan_segments(len(row_ids), vector_bytes,
+                                         segment_bytes):
+            index = build_index(self.index_spec, vectors[start:stop],
+                                self.storage_dim, self.profile,
+                                seed=self.seed + len(self.segments))
+            segment = Segment(len(self.segments), row_ids[start:stop],
+                              vectors[start:stop], index)
+            self.segments.append(segment)
+            created.append(segment)
+        self.wal.checkpoint()
+        return created
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, query: np.ndarray, k: int,
+               filter_: Filter | None = None,
+               **params: t.Any) -> SearchResponse:
+        """Top-k over all segments + growing rows, minus tombstones."""
+        if k <= 0:
+            raise EngineError(f"k must be positive: {k}")
+        need = k
+        if filter_ is not None or self.tombstones:
+            need = min(self.num_rows, max(4 * k, k + len(self.tombstones)))
+        response = self._gather(query, need, **params)
+        keep = [i for i, row_id in enumerate(response.ids)
+                if row_id not in self.tombstones
+                and self.payloads.matches(int(row_id), filter_)]
+        if len(keep) < k and need < self.num_rows:
+            # Escalate once: fetch everything reachable and refilter.
+            response = self._gather(query, self.num_rows, **params)
+            keep = [i for i, row_id in enumerate(response.ids)
+                    if row_id not in self.tombstones
+                    and self.payloads.matches(int(row_id), filter_)]
+        keep = keep[:k]
+        return SearchResponse(ids=response.ids[keep],
+                              dists=response.dists[keep],
+                              works=response.works)
+
+    def _gather(self, query: np.ndarray, k: int,
+                **params: t.Any) -> SearchResponse:
+        all_ids, all_dists, works = [], [], []
+        for segment in self.segments:
+            result = segment.search(query, k, **params)
+            all_ids.append(result.ids)
+            all_dists.append(result.dists)
+            works.append(result.work)
+        if len(self.growing):
+            result = self.growing.search(query, k)
+            all_ids.append(result.ids)
+            all_dists.append(result.dists)
+            works.append(result.work)
+        if not all_ids:
+            return SearchResponse(np.empty(0, dtype=np.int64),
+                                  np.empty(0, dtype=np.float32), works)
+        ids = np.concatenate(all_ids)
+        dists = np.concatenate(all_dists)
+        order = np.argsort(dists, kind="stable")[:k]
+        return SearchResponse(ids[order], dists[order], works)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Live rows (excluding tombstones)."""
+        total = sum(seg.n for seg in self.segments) + len(self.growing)
+        return total - len(self.tombstones)
+
+    def memory_bytes(self) -> int:
+        total = sum(seg.memory_bytes() for seg in self.segments)
+        total += len(self.growing) * self.dim * 4
+        total += self.payloads.memory_bytes()
+        return total
+
+    def disk_bytes(self) -> int:
+        return sum(seg.index.disk_bytes() for seg in self.segments)
+
+
+class VectorEngine:
+    """One running vector database (Milvus/Qdrant/Weaviate/LanceDB sim)."""
+
+    def __init__(self, profile: EngineProfile | str, seed: int = 0) -> None:
+        self.profile = (get_profile(profile) if isinstance(profile, str)
+                        else profile)
+        self.seed = seed
+        self._collections: dict[str, Collection] = {}
+
+    # -- collection lifecycle ----------------------------------------------
+
+    def create_collection(self, name: str, dim: int, index_spec: IndexSpec,
+                          storage_dim: int | None = None) -> Collection:
+        if name in self._collections:
+            raise EngineError(f"collection {name!r} already exists")
+        if not self.profile.supports(index_spec.kind) and (
+                index_spec.kind != "flat"):
+            raise EngineError(
+                f"{self.profile.name} does not support "
+                f"{index_spec.kind!r} indexes (supported: "
+                f"{self.profile.supported_indexes})")
+        collection = Collection(name, dim, index_spec, self.profile,
+                                storage_dim, seed=self.seed)
+        self._collections[name] = collection
+        return collection
+
+    def collection(self, name: str) -> Collection:
+        if name not in self._collections:
+            raise CollectionNotFoundError(name)
+        return self._collections[name]
+
+    def drop_collection(self, name: str) -> None:
+        if name not in self._collections:
+            raise CollectionNotFoundError(name)
+        del self._collections[name]
+
+    def list_collections(self) -> list[str]:
+        return sorted(self._collections)
+
+    # -- convenience passthroughs -------------------------------------------
+
+    def insert(self, name: str, vectors: np.ndarray,
+               payloads: t.Sequence[Payload | None] | None = None,
+               ) -> np.ndarray:
+        self._check_memory()
+        return self.collection(name).insert(vectors, payloads)
+
+    def delete(self, name: str, row_ids: t.Iterable[int]) -> int:
+        return self.collection(name).delete(row_ids)
+
+    def flush(self, name: str) -> list[Segment]:
+        return self.collection(name).flush()
+
+    def search(self, name: str, query: np.ndarray, k: int,
+               filter_: Filter | None = None,
+               **params: t.Any) -> SearchResponse:
+        return self.collection(name).search(query, k, filter_, **params)
+
+    # -- memory ---------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        return sum(c.memory_bytes() for c in self._collections.values())
+
+    def _check_memory(self, concurrency: int = 1) -> None:
+        self.check_concurrency_memory(concurrency)
+
+    def check_concurrency_memory(self, concurrency: int) -> None:
+        """Raise OutOfMemoryError if *concurrency* queries won't fit.
+
+        This is how the paper's LanceDB-HNSW OOM at 256 threads is
+        modeled: per-query working buffers times concurrency on top of
+        the resident data must fit the profile's budget.
+        """
+        needed = (self.memory_bytes()
+                  + concurrency * self.profile.per_query_buffer_bytes)
+        if needed > self.profile.memory_budget_bytes:
+            raise OutOfMemoryError(
+                f"{self.profile.name}: {needed} bytes needed at "
+                f"concurrency {concurrency}, budget "
+                f"{self.profile.memory_budget_bytes}")
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist all collections to a real file."""
+        with open(path, "wb") as handle:
+            pickle.dump((self.profile, self.seed, self._collections),
+                        handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "VectorEngine":
+        """Recover an engine previously written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            profile, seed, collections = pickle.load(handle)
+        engine = cls(profile, seed)
+        engine._collections = collections
+        return engine

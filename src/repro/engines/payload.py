@@ -1,0 +1,100 @@
+"""Payloads: the auxiliary data vector databases attach to vectors.
+
+The paper distinguishes vector *databases* from bare ANN libraries
+partly by payload support and payload-based filtering (Section II-C);
+this module provides both.  Filters are simple conjunctions of equality
+and range predicates — the shape Qdrant/Milvus filters take.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import EngineError
+
+Payload = dict[str, t.Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class Predicate:
+    """One condition on a payload field."""
+
+    field: str
+    op: str                    # "eq" | "range"
+    value: t.Any = None
+    low: float | None = None
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("eq", "range"):
+            raise EngineError(f"unknown predicate op: {self.op}")
+        if self.op == "range" and self.low is None and self.high is None:
+            raise EngineError("range predicate needs low and/or high")
+
+    def matches(self, payload: Payload | None) -> bool:
+        if payload is None or self.field not in payload:
+            return False
+        value = payload[self.field]
+        if self.op == "eq":
+            return value == self.value
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True)
+class Filter:
+    """A conjunction of predicates (all must match)."""
+
+    predicates: tuple[Predicate, ...]
+
+    @classmethod
+    def where(cls, **equalities: t.Any) -> "Filter":
+        """Shorthand: ``Filter.where(color="red", size=3)``."""
+        return cls(tuple(Predicate(field, "eq", value)
+                         for field, value in equalities.items()))
+
+    @classmethod
+    def range(cls, field: str, low: float | None = None,
+              high: float | None = None) -> "Filter":
+        return cls((Predicate(field, "range", low=low, high=high),))
+
+    def and_(self, other: "Filter") -> "Filter":
+        return Filter(self.predicates + other.predicates)
+
+    def matches(self, payload: Payload | None) -> bool:
+        return all(p.matches(payload) for p in self.predicates)
+
+
+class PayloadStore:
+    """Row-id keyed payload storage with filter evaluation."""
+
+    def __init__(self) -> None:
+        self._payloads: dict[int, Payload] = {}
+
+    def put(self, row_id: int, payload: Payload | None) -> None:
+        if payload is not None:
+            if not isinstance(payload, dict):
+                raise EngineError(f"payload must be a dict: {payload!r}")
+            self._payloads[row_id] = payload
+
+    def get(self, row_id: int) -> Payload | None:
+        return self._payloads.get(row_id)
+
+    def delete(self, row_id: int) -> None:
+        self._payloads.pop(row_id, None)
+
+    def matches(self, row_id: int, filter_: Filter | None) -> bool:
+        if filter_ is None:
+            return True
+        return filter_.matches(self._payloads.get(row_id))
+
+    def memory_bytes(self) -> int:
+        """Rough payload footprint (for the memory budget)."""
+        return sum(64 + 16 * len(p) for p in self._payloads.values())
+
+    def __len__(self) -> int:
+        return len(self._payloads)

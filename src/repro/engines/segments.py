@@ -1,0 +1,114 @@
+"""Sealed segments: the unit of storage and search inside a collection.
+
+Vector databases ingest into a mutable growing buffer and periodically
+seal it into immutable *segments*, each carrying its own index — the
+architecture of Milvus (and, with larger segments, Qdrant).  A query
+searches every sealed segment plus the growing buffer and merges the
+per-segment top-k.  Segment count is what couples dataset size to
+per-query work, the mechanism behind the paper's O-5/O-6 scaling
+observations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.ann.base import VectorIndex
+from repro.ann.distance import distances, top_k
+from repro.ann.workprofile import SearchResult, WorkProfile
+from repro.errors import EngineError
+
+
+@dataclasses.dataclass
+class Segment:
+    """An immutable slice of a collection with its own index."""
+
+    segment_id: int
+    row_ids: np.ndarray          # global row ids, parallel to vectors
+    vectors: np.ndarray
+    index: VectorIndex
+
+    def __post_init__(self) -> None:
+        if len(self.row_ids) != len(self.vectors):
+            raise EngineError(
+                f"segment {self.segment_id}: {len(self.row_ids)} ids vs "
+                f"{len(self.vectors)} vectors")
+
+    @property
+    def n(self) -> int:
+        return len(self.row_ids)
+
+    def search(self, query: np.ndarray, k: int,
+               **params) -> SearchResult:
+        """Search this segment; result ids are *global* row ids."""
+        result = self.index.search(query, k, **params)
+        return SearchResult(ids=self.row_ids[result.ids], work=result.work,
+                            dists=result.dists)
+
+    def memory_bytes(self) -> int:
+        return int(self.vectors.nbytes + self.row_ids.nbytes
+                   + self.index.memory_bytes())
+
+
+class GrowingBuffer:
+    """The mutable tail of a collection, searched by brute force."""
+
+    def __init__(self, dim: int, metric: str) -> None:
+        self.dim = dim
+        self.metric = metric
+        self._row_ids: list[int] = []
+        self._vectors: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._row_ids)
+
+    def append(self, row_id: int, vector: np.ndarray) -> None:
+        if vector.shape != (self.dim,):
+            raise EngineError(
+                f"vector shape {vector.shape} != ({self.dim},)")
+        self._row_ids.append(row_id)
+        self._vectors.append(np.asarray(vector, dtype=np.float32))
+
+    def search(self, query: np.ndarray, k: int) -> SearchResult:
+        """Brute-force scan of unsealed rows (global ids)."""
+        work = WorkProfile()
+        if not self._row_ids:
+            return SearchResult(ids=np.empty(0, dtype=np.int64), work=work)
+        X = np.vstack(self._vectors)
+        dists = distances(query, X, self.metric)
+        if self.metric == "cosine":
+            # Sealed indexes report squared-L2-on-unit-vectors (l2n)
+            # distances; convert so merged rankings are consistent.
+            dists = 2.0 + 2.0 * dists
+        work.add_cpu(full_evals=len(self._row_ids))
+        order = top_k(dists, k)
+        ids = np.asarray(self._row_ids, dtype=np.int64)[order]
+        return SearchResult(ids=ids, work=work,
+                            dists=dists[order].astype(np.float32))
+
+    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return (row_ids, vectors) for sealing."""
+        if not self._row_ids:
+            raise EngineError("drain() on an empty growing buffer")
+        ids = np.asarray(self._row_ids, dtype=np.int64)
+        vectors = np.vstack(self._vectors)
+        self._row_ids.clear()
+        self._vectors.clear()
+        return ids, vectors
+
+
+def plan_segments(n: int, vector_bytes: int,
+                  segment_bytes: int | None) -> list[tuple[int, int]]:
+    """Split *n* rows into [start, stop) ranges by segment capacity.
+
+    ``segment_bytes`` of None (monolithic engines) yields one range.
+    """
+    if n <= 0:
+        raise EngineError(f"cannot plan segments for n={n}")
+    if segment_bytes is None:
+        return [(0, n)]
+    rows_per_segment = max(1, segment_bytes // max(1, vector_bytes))
+    return [(start, min(start + rows_per_segment, n))
+            for start in range(0, n, rows_per_segment)]

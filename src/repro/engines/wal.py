@@ -1,0 +1,97 @@
+"""A write-ahead log for durability and write-traffic modeling.
+
+Two roles:
+
+* **functional durability** — every mutation (insert/delete) is
+  appended before being applied; a collection can be rebuilt by
+  replaying the log, and the log can be persisted to a real file and
+  recovered (tested in the engine test suite);
+* **I/O modeling** — each entry knows its serialized size, so the
+  hybrid read/write workload benchmark (paper Section VIII future work)
+  can issue correspondingly sized writes to the simulated device.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import typing as t
+from pathlib import Path
+
+from repro.errors import EngineError
+
+
+@dataclasses.dataclass(frozen=True)
+class WalEntry:
+    """One logged mutation."""
+
+    sequence: int
+    op: str                       # "insert" | "delete"
+    row_id: int
+    vector: t.Any = None          # np.ndarray for inserts
+    payload: dict | None = None
+
+    def entry_bytes(self) -> int:
+        """Serialized size estimate (header + vector + payload)."""
+        size = 32
+        if self.vector is not None:
+            size += self.vector.nbytes
+        if self.payload is not None:
+            size += 64 + 16 * len(self.payload)
+        return size
+
+
+class WriteAheadLog:
+    """Append-only mutation log with checkpoint truncation."""
+
+    def __init__(self) -> None:
+        self._entries: list[WalEntry] = []
+        self._next_sequence = 0
+        self.checkpointed_through = -1
+
+    def append(self, op: str, row_id: int, vector: t.Any = None,
+               payload: dict | None = None) -> WalEntry:
+        if op not in ("insert", "delete"):
+            raise EngineError(f"unknown WAL op: {op}")
+        entry = WalEntry(self._next_sequence, op, row_id, vector, payload)
+        self._next_sequence += 1
+        self._entries.append(entry)
+        return entry
+
+    @property
+    def entries(self) -> t.Sequence[WalEntry]:
+        return self._entries
+
+    def pending(self) -> list[WalEntry]:
+        """Entries newer than the last checkpoint."""
+        return [e for e in self._entries
+                if e.sequence > self.checkpointed_through]
+
+    def checkpoint(self) -> None:
+        """Mark all current entries durable in the main store."""
+        if self._entries:
+            self.checkpointed_through = self._entries[-1].sequence
+        self._entries = []
+
+    def total_bytes(self) -> int:
+        return sum(e.entry_bytes() for e in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- real persistence --------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the log to a real file."""
+        with open(path, "wb") as handle:
+            pickle.dump((self._entries, self._next_sequence,
+                         self.checkpointed_through), handle)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WriteAheadLog":
+        """Recover a log previously written by :meth:`save`."""
+        wal = cls()
+        with open(path, "rb") as handle:
+            (wal._entries, wal._next_sequence,
+             wal.checkpointed_through) = pickle.load(handle)
+        return wal

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class StorageError(ReproError):
+    """A storage-substrate operation failed (bad offset, device full...)."""
+
+
+class IndexError_(ReproError):
+    """An ANN index was misused (searching before building, bad params)."""
+
+
+class DatasetError(ReproError):
+    """A dataset spec or generator was misconfigured."""
+
+
+class EngineError(ReproError):
+    """A vector-database engine operation failed."""
+
+
+class OutOfMemoryError(EngineError):
+    """An engine exceeded its configured memory budget.
+
+    Mirrors the out-of-memory failures the paper observed for
+    LanceDB-HNSW at high query concurrency (Section IV-A).
+    """
+
+
+class CollectionNotFoundError(EngineError):
+    """A named collection does not exist in the engine."""
+
+
+class WorkloadError(ReproError):
+    """An experiment or workload configuration is invalid."""

@@ -1,0 +1,115 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the simpy model: simulation processes are Python
+generators that ``yield`` :class:`Event` objects and are resumed when the
+event fires.  Events carry an optional value that becomes the result of
+the ``yield`` expression inside the process.
+
+Lifecycle of an event:
+
+* *pending* — created, not yet scheduled;
+* *triggered* — given a value and placed on the environment's event heap
+  (via :meth:`Event.succeed`, or at construction for :class:`Timeout`);
+* *processed* — popped off the heap; its callbacks have run.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SimulationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkernel.env import Environment
+
+Callback = t.Callable[["Event"], None]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callback] = []
+        self.processed = False
+        self._value: t.Any = _PENDING
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been given a value and scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def value(self) -> t.Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is _PENDING:
+            raise SimulationError("event value read before it triggered")
+        return self._value
+
+    def succeed(self, value: t.Any = None) -> "Event":
+        """Trigger the event, scheduling its callbacks for *now*."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def _wait(self, callback: Callback) -> None:
+        """Invoke *callback* when this event is processed (or now if done)."""
+        if self.processed:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: t.Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class AllOf(Event):
+    """An event that fires once every child event has been processed.
+
+    Its value is the list of the children's values, in the order the
+    children were given.
+    """
+
+    def __init__(self, env: "Environment", events: t.Sequence[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._events:
+            event._wait(self._on_child)
+
+    def _on_child(self, _event: Event) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([event.value for event in self._events])
+
+
+class AnyOf(Event):
+    """An event that fires when the first of its children is processed."""
+
+    def __init__(self, env: "Environment", events: t.Sequence[Event]) -> None:
+        super().__init__(env)
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        for event in events:
+            event._wait(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not self.triggered:
+            self.succeed(event.value)

@@ -1,0 +1,92 @@
+"""Shared resources for simulation processes.
+
+:class:`Resource` models a pool of identical servers (e.g. CPU cores or
+an SSD's internal channels) with a FIFO wait queue.  It additionally
+tracks the busy-time integral so experiments can report utilization, the
+way the paper reports global CPU usage (Figure 4).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from repro.errors import SimulationError
+from repro.simkernel.env import Environment
+from repro.simkernel.events import Event
+
+
+class Resource:
+    """A FIFO pool of *capacity* identical slots."""
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._queue: list[Event] = []
+        self._busy_integral = 0.0
+        self._last_change = env.now
+
+    # -- acquisition ----------------------------------------------------
+
+    def request(self) -> Event:
+        """Return an event that fires once a slot is granted."""
+        grant = Event(self.env)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            grant.succeed(None)
+        else:
+            self._queue.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Free one slot, handing it to the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._queue:
+            # Hand the slot straight over; occupancy is unchanged.
+            self._queue.pop(0).succeed(None)
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def use(self, duration: float) -> t.Generator[Event, t.Any, None]:
+        """A process fragment: hold one slot for *duration* seconds.
+
+        Usage: ``yield from resource.use(t)``.
+        """
+        yield self.request()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            self.release()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently occupied slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_integral += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Total slot-seconds consumed so far (integral of occupancy)."""
+        self._account()
+        return self._busy_integral
+
+    def utilization(self, duration: float) -> float:
+        """Mean fraction of the pool busy over *duration* seconds."""
+        if duration <= 0:
+            raise SimulationError(f"non-positive duration: {duration}")
+        return self.busy_time() / (self.capacity * duration)

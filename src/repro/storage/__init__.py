@@ -1,0 +1,36 @@
+"""Simulated storage substrate: device, page cache, tracer, files, fio.
+
+Timing-only simulation of the paper's storage stack — a Samsung 990
+Pro-class NVMe SSD under the Linux block layer — calibrated against the
+fio measurements in Section III-A of the paper.
+"""
+
+from repro.storage.blockfile import BlockFile, ExtentAllocator, align_up
+from repro.storage.device import SimSSD
+from repro.storage.fio import FioJobSpec, FioResult, run_fio
+from repro.storage.pagecache import CachedBlockReader, PageCache, merge_pages
+from repro.storage.spec import (DeviceSpec, GiB, KiB, MiB, PAGE_SIZE,
+                                samsung_990pro_4tb, samsung_sata_1tb)
+from repro.storage.tracer import BlockTracer, TraceRecord
+
+__all__ = [
+    "BlockFile",
+    "BlockTracer",
+    "CachedBlockReader",
+    "DeviceSpec",
+    "ExtentAllocator",
+    "FioJobSpec",
+    "FioResult",
+    "GiB",
+    "KiB",
+    "MiB",
+    "PAGE_SIZE",
+    "PageCache",
+    "SimSSD",
+    "TraceRecord",
+    "align_up",
+    "merge_pages",
+    "run_fio",
+    "samsung_990pro_4tb",
+    "samsung_sata_1tb",
+]

@@ -1,0 +1,116 @@
+"""Extent allocation: carving files out of the simulated device.
+
+Index files (the DiskANN graph, IVF posting lists, WAL segments) need
+stable device offsets so the block tracer sees a realistic address
+stream.  :class:`ExtentAllocator` hands out page-aligned contiguous
+extents with a first-fit free list; :class:`BlockFile` is a contiguous
+file with bounds-checked positional reads and writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import StorageError
+from repro.simkernel import Event
+from repro.storage.device import SimSSD
+from repro.storage.spec import PAGE_SIZE
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to a multiple of *alignment*."""
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclasses.dataclass
+class _FreeExtent:
+    offset: int
+    size: int
+
+
+class ExtentAllocator:
+    """First-fit allocator of page-aligned extents on one device."""
+
+    def __init__(self, capacity_bytes: int,
+                 alignment: int = PAGE_SIZE) -> None:
+        if capacity_bytes < alignment:
+            raise StorageError(f"device too small: {capacity_bytes}")
+        self.alignment = alignment
+        self.capacity_bytes = capacity_bytes
+        self._free: list[_FreeExtent] = [_FreeExtent(0, capacity_bytes)]
+
+    def allocate(self, size: int) -> int:
+        """Reserve a contiguous extent; returns its device offset."""
+        if size <= 0:
+            raise StorageError(f"non-positive allocation: {size}")
+        size = align_up(size, self.alignment)
+        for i, extent in enumerate(self._free):
+            if extent.size >= size:
+                offset = extent.offset
+                extent.offset += size
+                extent.size -= size
+                if extent.size == 0:
+                    del self._free[i]
+                return offset
+        raise StorageError(f"no free extent of {size} bytes")
+
+    def free(self, offset: int, size: int) -> None:
+        """Return an extent to the free list, merging neighbours."""
+        size = align_up(size, self.alignment)
+        self._free.append(_FreeExtent(offset, size))
+        self._free.sort(key=lambda e: e.offset)
+        merged: list[_FreeExtent] = []
+        for extent in self._free:
+            if merged and merged[-1].offset + merged[-1].size == extent.offset:
+                merged[-1].size += extent.size
+            elif merged and merged[-1].offset + merged[-1].size > extent.offset:
+                raise StorageError(
+                    f"double free overlapping at offset {extent.offset}")
+            else:
+                merged.append(extent)
+        self._free = merged
+
+    def free_bytes(self) -> int:
+        """Total unallocated space."""
+        return sum(extent.size for extent in self._free)
+
+
+class BlockFile:
+    """A contiguous file on the simulated device.
+
+    Reads and writes are positional (pread/pwrite style) and are bounds
+    checked against the file size; they return simulation events.
+    """
+
+    def __init__(self, name: str, device: SimSSD,
+                 allocator: ExtentAllocator, size: int) -> None:
+        self.name = name
+        self.device = device
+        self.size = align_up(size, allocator.alignment)
+        self._allocator = allocator
+        self.offset = allocator.allocate(self.size)
+
+    def _check(self, at: int, size: int) -> None:
+        if at < 0 or size <= 0 or at + size > self.size:
+            raise StorageError(
+                f"{self.name}: access [{at}, {at + size}) outside file "
+                f"of {self.size} bytes")
+
+    def device_offset(self, at: int) -> int:
+        """Translate a file-relative offset to a device offset."""
+        self._check(at, 1)
+        return self.offset + at
+
+    def read(self, at: int, size: int) -> Event:
+        """Direct (uncached) read of file bytes [at, at+size)."""
+        self._check(at, size)
+        return self.device.read(self.offset + at, size)
+
+    def write(self, at: int, size: int) -> Event:
+        """Direct write of file bytes [at, at+size)."""
+        self._check(at, size)
+        return self.device.write(self.offset + at, size)
+
+    def close(self) -> None:
+        """Release the file's extent back to the allocator."""
+        self._allocator.free(self.offset, self.size)

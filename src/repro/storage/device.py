@@ -1,0 +1,117 @@
+"""A discrete-event-simulated NVMe/SATA block device.
+
+The device models *timing only*: payload bytes never move through it.
+Index structures keep their data in memory (they are real Python
+objects); what the device reproduces is the latency, queueing, and
+bandwidth consequences of the request streams those structures issue —
+which is exactly what the paper characterizes.
+
+Service model (see :mod:`repro.storage.spec` for calibration): the
+device has N internal channels, each a FCFS server.  A submitted request
+is placed on the earliest-free channel, occupies it for a size-dependent
+transfer time, and completes after an additional pipelined media-access
+latency.  Channel state is a heap of free-at times, so a batch of
+requests costs O(len * log channels) and a single simulation event —
+the queueing behaviour of a resource pool without its event overhead.
+
+Every issued request is reported to the attached
+:class:`~repro.storage.tracer.BlockTracer` at submission time, like the
+kernel's ``block_rq_issue`` tracepoint.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing as t
+
+from repro.errors import StorageError
+from repro.simkernel import Environment, Event
+from repro.storage.spec import DeviceSpec
+from repro.storage.tracer import BlockTracer
+
+
+class SimSSD:
+    """Simulated block device attached to a simulation environment."""
+
+    def __init__(self, env: Environment, spec: DeviceSpec,
+                 tracer: BlockTracer | None = None) -> None:
+        self.env = env
+        self.spec = spec
+        self.tracer = tracer if tracer is not None else BlockTracer(False)
+        self._channel_free = [0.0] * spec.channels
+        heapq.heapify(self._channel_free)
+        self._occupancy_integral = 0.0
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- public I/O interface ---------------------------------------------
+
+    def submit(self, requests: t.Sequence[tuple[int, int]],
+               op: str) -> Event:
+        """Submit a batch of requests; fires when the *whole* batch is in.
+
+        This is the primitive behind DiskANN's beam search: a beam of
+        node reads is issued together and the search continues when the
+        entire beam has landed.
+        """
+        if not requests:
+            return self.env.timeout(0.0)
+        for offset, size in requests:
+            self._validate(offset, size)
+        now = self.env.now
+        if op == "R":
+            occupancy_of = self.spec.read_occupancy
+            access = self.spec.read_access_s
+            self.reads_issued += len(requests)
+            self.bytes_read += sum(size for _off, size in requests)
+        elif op == "W":
+            occupancy_of = self.spec.write_occupancy
+            access = self.spec.write_access_s
+            self.writes_issued += len(requests)
+            self.bytes_written += sum(size for _off, size in requests)
+        else:
+            raise StorageError(f"unknown op {op!r}")
+        batch_done = now
+        for offset, size in requests:
+            self.tracer.record(now, op, offset, size)
+            occupancy = occupancy_of(size)
+            free_at = heapq.heappop(self._channel_free)
+            done = max(now, free_at) + occupancy
+            heapq.heappush(self._channel_free, done)
+            self._occupancy_integral += occupancy
+            batch_done = max(batch_done, done + access)
+        return self.env.timeout(batch_done - now)
+
+    def read(self, offset: int, size: int) -> Event:
+        """Submit one read; returns an event firing at completion."""
+        return self.submit([(offset, size)], "R")
+
+    def write(self, offset: int, size: int) -> Event:
+        """Submit one write; returns an event firing at completion."""
+        return self.submit([(offset, size)], "W")
+
+    def read_many(self, requests: t.Sequence[tuple[int, int]]) -> Event:
+        """Submit several reads in parallel; fires when all complete."""
+        return self.submit(requests, "R")
+
+    # -- validation and introspection ---------------------------------------
+
+    def _validate(self, offset: int, size: int) -> None:
+        if offset < 0 or size <= 0:
+            raise StorageError(f"bad request: offset={offset} size={size}")
+        if size > self.spec.max_request_bytes:
+            raise StorageError(
+                f"request of {size} B exceeds the block-layer limit of "
+                f"{self.spec.max_request_bytes} B; split it first")
+        if offset + size > self.spec.capacity_bytes:
+            raise StorageError(
+                f"request [{offset}, {offset + size}) beyond device end "
+                f"{self.spec.capacity_bytes}")
+
+    def utilization(self, duration: float) -> float:
+        """Mean fraction of channels busy over *duration* seconds."""
+        if duration <= 0:
+            raise StorageError(f"non-positive duration: {duration}")
+        return self._occupancy_integral / (self.spec.channels * duration)

@@ -1,0 +1,64 @@
+"""Block-layer I/O tracing.
+
+Equivalent of the paper's bpftrace probe on the ``block_rq_issue``
+tracepoint (Section III-A): every request submitted to the simulated
+device is recorded with its submission timestamp, direction, offset, and
+size.  The analysis helpers in :mod:`repro.trace` consume these records
+to build the paper's bandwidth and request-size figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One ``block_rq_issue`` event."""
+
+    timestamp: float
+    op: str          # "R" or "W"
+    offset: int      # bytes from device start
+    size: int        # bytes
+
+
+class BlockTracer:
+    """Accumulates :class:`TraceRecord` entries during a run.
+
+    Tracing can be switched off (``enabled=False``) for experiments that
+    only need performance numbers, mirroring how the paper only traces
+    the I/O-characterization runs.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+
+    def record(self, timestamp: float, op: str, offset: int,
+               size: int) -> None:
+        """Record one request issue; no-op when tracing is disabled."""
+        if self.enabled:
+            self._records.append(TraceRecord(timestamp, op, offset, size))
+
+    def clear(self) -> None:
+        """Drop all accumulated records (start of a new run)."""
+        self._records.clear()
+
+    @property
+    def records(self) -> t.Sequence[TraceRecord]:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- simple aggregations ---------------------------------------------
+
+    def total_bytes(self, op: str | None = None) -> int:
+        """Sum of request sizes, optionally filtered by direction."""
+        return sum(r.size for r in self._records
+                   if op is None or r.op == op)
+
+    def window(self, start: float, end: float) -> list[TraceRecord]:
+        """Records with ``start <= timestamp < end``."""
+        return [r for r in self._records if start <= r.timestamp < end]

@@ -1,0 +1,16 @@
+"""Block-trace analysis for the paper's I/O characterization."""
+
+from repro.trace.analysis import (BandwidthSeries, bandwidth_series,
+                                  fraction_at_size, offset_reuse_stats,
+                                  per_query_volume, request_size_histogram,
+                                  total_bytes)
+
+__all__ = [
+    "BandwidthSeries",
+    "bandwidth_series",
+    "fraction_at_size",
+    "offset_reuse_stats",
+    "per_query_volume",
+    "request_size_histogram",
+    "total_bytes",
+]

@@ -1,0 +1,115 @@
+"""Block-trace analysis: the paper's I/O characterization toolkit.
+
+Consumes :class:`~repro.storage.tracer.BlockTracer` records and produces
+the quantities of Section V: per-interval bandwidth series (Figure 5),
+request-size histograms (O-15), and per-query average I/O volume
+(Figure 6).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.storage.tracer import TraceRecord
+
+
+@dataclasses.dataclass(frozen=True)
+class BandwidthSeries:
+    """Read/write bandwidth aggregated into fixed time buckets."""
+
+    interval_s: float
+    starts: np.ndarray          # bucket start times
+    read_bytes: np.ndarray      # bytes issued per bucket
+    write_bytes: np.ndarray
+
+    @property
+    def read_bandwidth(self) -> np.ndarray:
+        """Bytes/second per bucket."""
+        return self.read_bytes / self.interval_s
+
+    @property
+    def write_bandwidth(self) -> np.ndarray:
+        return self.write_bytes / self.interval_s
+
+    def peak_read_bandwidth(self) -> float:
+        return float(self.read_bandwidth.max()) if len(self.starts) else 0.0
+
+    def mean_read_bandwidth(self) -> float:
+        return float(self.read_bandwidth.mean()) if len(self.starts) else 0.0
+
+
+def bandwidth_series(records: t.Sequence[TraceRecord],
+                     interval_s: float = 1.0,
+                     end: float | None = None) -> BandwidthSeries:
+    """Bucket request bytes into fixed intervals (paper Figure 5)."""
+    if interval_s <= 0:
+        raise ReproError(f"non-positive interval: {interval_s}")
+    if not records:
+        return BandwidthSeries(interval_s, np.empty(0), np.empty(0),
+                               np.empty(0))
+    horizon = end if end is not None else max(r.timestamp for r in records)
+    n_buckets = max(1, int(np.ceil(horizon / interval_s)) or 1)
+    reads = np.zeros(n_buckets)
+    writes = np.zeros(n_buckets)
+    for record in records:
+        bucket = min(n_buckets - 1, int(record.timestamp // interval_s))
+        if record.op == "R":
+            reads[bucket] += record.size
+        else:
+            writes[bucket] += record.size
+    starts = np.arange(n_buckets) * interval_s
+    return BandwidthSeries(interval_s, starts, reads, writes)
+
+
+def request_size_histogram(records: t.Sequence[TraceRecord],
+                           op: str | None = "R") -> dict[int, int]:
+    """Count of requests by size in bytes (paper O-15)."""
+    histogram: dict[int, int] = collections.Counter()
+    for record in records:
+        if op is None or record.op == op:
+            histogram[record.size] += 1
+    return dict(histogram)
+
+
+def fraction_at_size(records: t.Sequence[TraceRecord], size: int,
+                     op: str | None = "R") -> float:
+    """Fraction of (read) requests of exactly *size* bytes."""
+    histogram = request_size_histogram(records, op)
+    total = sum(histogram.values())
+    if total == 0:
+        raise ReproError("no matching trace records")
+    return histogram.get(size, 0) / total
+
+
+def total_bytes(records: t.Sequence[TraceRecord],
+                op: str | None = "R") -> int:
+    """Total bytes issued, optionally filtered by direction."""
+    return sum(r.size for r in records if op is None or r.op == op)
+
+
+def per_query_volume(records: t.Sequence[TraceRecord],
+                     completed_queries: int,
+                     op: str | None = "R") -> float:
+    """Average bytes issued per completed query (paper Figure 6)."""
+    if completed_queries <= 0:
+        raise ReproError(
+            f"per-query volume needs completed queries: {completed_queries}")
+    return total_bytes(records, op) / completed_queries
+
+
+def offset_reuse_stats(records: t.Sequence[TraceRecord],
+                       ) -> tuple[int, float]:
+    """(#unique offsets, mean accesses per offset) of read requests.
+
+    Quantifies the access locality that makes the DiskANN node caches
+    effective (Section V-B discussion).
+    """
+    counts = collections.Counter(r.offset for r in records if r.op == "R")
+    if not counts:
+        raise ReproError("no read records")
+    return len(counts), float(np.mean(list(counts.values())))

@@ -1,0 +1,363 @@
+"""The benchmark runner: closed-loop clients on the simulated hardware.
+
+Reproduces the paper's methodology (Section III-B):
+
+* N closed-loop client threads, each with one in-flight query, cycling
+  through the query set;
+* caches dropped before each run (page cache and index node caches);
+* a fixed measurement window; QPS, P99 latency, global CPU usage, and
+  block-level I/O are reported per run.
+
+Execution happens in two phases.  The *functional* phase runs every
+query once through the real engine (algorithms, recall, work profiles);
+profiles are captured twice — a cold pass after cache reset and a warm
+pass — so the replay can model cache warm-up across the run.  The
+*timing* phase replays compiled plans on the discrete-event simulator:
+20 CPU cores, the calibrated NVMe device, RPC and batching overheads
+from the engine profile.
+
+One simulated "thread" maps to one client; the paper's 30-second runs
+are shortened by ``duration_s``/``max_queries`` since the simulator is
+deterministic and converges far faster than noisy hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as t
+
+import numpy as np
+
+from repro.ann.workprofile import CpuStep, IoStep
+from repro.data.groundtruth import recall_at_k
+from repro.engines.costmodel import CostModel
+from repro.engines.engine import Collection, VectorEngine
+from repro.engines.profiles import PAPER_CPU_CORES
+from repro.errors import OutOfMemoryError, WorkloadError
+from repro.simkernel import Environment, Resource
+from repro.storage.blockfile import ExtentAllocator
+from repro.storage.device import SimSSD
+from repro.storage.spec import DeviceSpec, samsung_990pro_4tb
+from repro.storage.tracer import BlockTracer
+from repro.workload.metrics import RunResult, percentile
+
+#: ('cpu', seconds) or ('io', ((abs_offset, size), ...))
+CompiledStep = tuple[str, t.Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class WriteLoad:
+    """A concurrent write stream (the paper's Section VIII extension).
+
+    Models WAL/segment-flush traffic running alongside searches:
+    ``writers`` background threads each issue a ``bytes_per_flush``
+    write every ``interval_s`` seconds into a circular log region.  NAND
+    read/write interference then emerges from channel contention in the
+    device model.
+    """
+
+    writers: int = 1
+    bytes_per_flush: int = 64 * 1024
+    interval_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.writers < 1 or self.bytes_per_flush < 1:
+            raise WorkloadError(f"bad write load: {self}")
+
+
+def work_extrapolation(index_kind: str, n: int,
+                       paper_n: int | None) -> float:
+    """CPU-work multiplier from proxy scale to the paper's scale.
+
+    The proxy datasets are ~250x smaller than the paper's.  Per-query
+    *algorithmic* work does not shrink uniformly with n: an IVF scan
+    costs Theta(sqrt(n)) (nlist + nprobe * n/nlist with nlist ~ 4
+    sqrt(n)), while graph searches grow ~log n.  Replaying tiny-scale
+    work untransformed would therefore understate IVF relative to HNSW
+    and flip the paper's orderings; this factor restores the paper-scale
+    ratio of each family's distance-evaluation counts.
+    """
+    if paper_n is None or paper_n <= n:
+        return 1.0
+    if index_kind in ("ivf", "ivf-pq"):
+        return math.sqrt(paper_n / n)
+    return math.log(paper_n) / math.log(max(n, 2))
+
+
+@dataclasses.dataclass
+class CompiledQuery:
+    """One query's priced execution plan, one step list per segment."""
+
+    segments: list[list[CompiledStep]]
+
+
+class BenchRunner:
+    """Runs one (engine, collection, dataset) combination."""
+
+    def __init__(self, engine: VectorEngine, collection_name: str,
+                 queries: np.ndarray, ground_truth: np.ndarray | None = None,
+                 device_spec: DeviceSpec | None = None,
+                 cores: int = PAPER_CPU_CORES, k: int = 10,
+                 paper_n: int | None = None) -> None:
+        """
+        Args:
+            paper_n: the cardinality of the *paper's* dataset that this
+                collection proxies.  When given, per-query CPU work is
+                extrapolated from the proxy's size to the paper's, using
+                each index family's asymptotic work growth (see
+                :func:`work_extrapolation`).  Leave None for raw runs.
+        """
+        self.engine = engine
+        self.collection: Collection = engine.collection(collection_name)
+        self.queries = np.asarray(queries, dtype=np.float32)
+        self.ground_truth = ground_truth
+        self.device_spec = device_spec or samsung_990pro_4tb()
+        self.cores = cores
+        self.k = k
+        self.cost = CostModel(storage_dim=self.collection.storage_dim,
+                              cpu_factor=engine.profile.cpu_factor)
+        self.work_scale = work_extrapolation(
+            self.collection.index_spec.kind, self.collection.num_rows,
+            paper_n)
+        self._segment_bases = self._allocate_index_files()
+        self._plan_cache: dict[tuple, tuple[list[CompiledQuery],
+                                            list[CompiledQuery],
+                                            float | None]] = {}
+
+    # -- setup ---------------------------------------------------------------
+
+    def _allocate_index_files(self) -> dict[int, int]:
+        """Device base offset of each storage-based segment index."""
+        self._allocator = ExtentAllocator(self.device_spec.capacity_bytes)
+        bases: dict[int, int] = {}
+        for segment in self.collection.segments:
+            if segment.index.storage_based:
+                bases[segment.segment_id] = self._allocator.allocate(
+                    max(4096, segment.index.disk_bytes()))
+        return bases
+
+    # -- functional phase ------------------------------------------------------
+
+    def _drop_caches(self) -> None:
+        """The run-prologue cache flush of the paper's methodology."""
+        for segment in self.collection.segments:
+            reset = getattr(segment.index, "reset_dynamic_cache", None)
+            if reset is not None:
+                reset()
+
+    def _compile(self, params: dict[str, t.Any],
+                 ) -> tuple[list[CompiledQuery], list[CompiledQuery],
+                            float | None]:
+        key = tuple(sorted(params.items()))
+        if key in self._plan_cache:
+            return self._plan_cache[key]
+        self._drop_caches()
+        cold, found = self._functional_pass(params)
+        warm, _found = self._functional_pass(params)
+        recall = None
+        if self.ground_truth is not None:
+            recall = recall_at_k(self.ground_truth[:, :self.k], found,
+                                 self.k)
+        self._plan_cache[key] = (cold, warm, recall)
+        return self._plan_cache[key]
+
+    def _functional_pass(self, params: dict[str, t.Any],
+                         ) -> tuple[list[CompiledQuery], list[np.ndarray]]:
+        plans, found = [], []
+        for query in self.queries:
+            response = self.collection.search(query, self.k, **params)
+            segments = []
+            # Map work profiles to segment ids: works are appended in
+            # segment order, the growing buffer last.
+            for work, segment in zip(response.works,
+                                     self.collection.segments):
+                segments.append(self._compile_work(work,
+                                                   segment.segment_id))
+            for work in response.works[len(self.collection.segments):]:
+                segments.append(self._compile_work(work, None))
+            plans.append(CompiledQuery(segments))
+            found.append(response.ids)
+        return plans, found
+
+    def _compile_work(self, work, segment_id: int | None,
+                      ) -> list[CompiledStep]:
+        base = self._segment_bases.get(segment_id, 0)
+        steps: list[CompiledStep] = []
+        for step in work.steps:
+            if isinstance(step, CpuStep):
+                seconds = self.cost.cpu_step_seconds(step) * self.work_scale
+                if seconds > 0:
+                    steps.append(("cpu", seconds))
+            elif isinstance(step, IoStep):
+                cpu = self.cost.io_step_cpu_seconds(step)
+                steps.append(("cpu", cpu))
+                if step.requests:
+                    absolute = tuple(
+                        (base + offset, size)
+                        for offset, size in self._split_requests(
+                            step.requests))
+                    steps.append(("io", absolute))
+        return steps
+
+    def _split_requests(self, requests: t.Sequence[tuple[int, int]],
+                        ) -> list[tuple[int, int]]:
+        """Chop extents larger than the block-layer request cap."""
+        cap = self.device_spec.max_request_bytes
+        out = []
+        for offset, size in requests:
+            while size > cap:
+                out.append((offset, cap))
+                offset += cap
+                size -= cap
+            out.append((offset, size))
+        return out
+
+    # -- timing phase -----------------------------------------------------------
+
+    def run(self, concurrency: int, search_params: dict | None = None,
+            duration_s: float = 4.0, max_queries: int = 25_000,
+            trace: bool = False, phase: int = 0,
+            write_load: WriteLoad | None = None) -> RunResult:
+        """One measured run at one concurrency level.
+
+        ``phase`` offsets each client's starting query (the repetition
+        knob; the simulator itself is deterministic).
+        """
+        if concurrency < 1:
+            raise WorkloadError(f"concurrency must be >= 1: {concurrency}")
+        params = dict(search_params or {})
+        profile = self.engine.profile
+
+        def failure(reason: str) -> RunResult:
+            return RunResult(
+                engine=profile.name,
+                index_kind=self.collection.index_spec.kind,
+                dataset=self.collection.name, concurrency=concurrency,
+                completed=0, elapsed_s=0.0, qps=0.0,
+                mean_latency_s=float("nan"), p99_latency_s=float("nan"),
+                cpu_utilization=0.0, device_utilization=0.0,
+                read_bytes=0, write_bytes=0, search_params=params,
+                error=reason)
+
+        try:
+            self.engine.check_concurrency_memory(concurrency)
+        except OutOfMemoryError:
+            return failure("out-of-memory")
+
+        cold, warm, recall = self._compile(params)
+        env = Environment()
+        tracer = BlockTracer(enabled=trace)
+        device = SimSSD(env, self.device_spec, tracer)
+        cores = Resource(env, self.cores)
+        pool_size = getattr(profile, "diskann_pool", 0)
+        pool = (Resource(env, pool_size)
+                if pool_size and self.collection.index_spec.kind == "diskann"
+                else None)
+        fixed_cpu = (profile.fixed_query_cpu_s
+                     / min(concurrency, profile.batch_cap))
+        state = _RunState(n_queries=len(self.queries),
+                          max_queries=max_queries)
+
+        def segment_proc(steps: list[CompiledStep]):
+            for kind, payload in steps:
+                if kind == "cpu":
+                    yield from cores.use(payload)
+                else:
+                    yield device.submit(payload, "R")
+
+        def query_proc(plan: CompiledQuery):
+            if profile.rpc_s:
+                yield env.timeout(profile.rpc_s / 2)
+            if pool is not None:
+                yield pool.request()
+            try:
+                if fixed_cpu > 0:
+                    yield from cores.use(fixed_cpu)
+                parallel = (profile.intra_query_parallelism
+                            and len(plan.segments) > 1)
+                if parallel:
+                    yield env.all_of([env.process(segment_proc(steps))
+                                      for steps in plan.segments])
+                else:
+                    for steps in plan.segments:
+                        yield from segment_proc(steps)
+            finally:
+                if pool is not None:
+                    pool.release()
+            if profile.rpc_s:
+                yield env.timeout(profile.rpc_s / 2)
+
+        def client(client_id: int):
+            while env.now < duration_s and state.issued < state.max_queries:
+                ordinal = state.issued
+                state.issued += 1
+                index = (ordinal + client_id + phase) % state.n_queries
+                plan = cold[index] if ordinal < state.n_queries else (
+                    warm[index])
+                start = env.now
+                yield from query_proc(plan)
+                state.latencies.append(env.now - start)
+                state.last_completion = env.now
+
+        def writer(writer_id: int):
+            log_size = 256 * write_load.bytes_per_flush
+            base = self._allocator.allocate(log_size)
+            position = 0
+            cap = self.device_spec.max_request_bytes
+            while env.now < duration_s:
+                yield env.timeout(write_load.interval_s)
+                remaining = write_load.bytes_per_flush
+                requests = []
+                while remaining > 0:
+                    size = min(remaining, cap)
+                    if position + size > log_size:
+                        position = 0  # circular log wrap
+                    requests.append((base + position, size))
+                    position += size
+                    remaining -= size
+                yield from cores.use(
+                    len(requests) * self.device_spec.cpu_per_request_s)
+                yield device.submit(requests, "W")
+
+        for client_id in range(concurrency):
+            env.process(client(client_id))
+        if write_load is not None:
+            for writer_id in range(write_load.writers):
+                env.process(writer(writer_id))
+        env.run()
+
+        completed = len(state.latencies)
+        if completed == 0:
+            raise WorkloadError(
+                "run completed no queries; duration too short?")
+        elapsed = max(state.last_completion, 1e-9)
+        return RunResult(
+            engine=profile.name,
+            index_kind=self.collection.index_spec.kind,
+            dataset=self.collection.name,
+            concurrency=concurrency,
+            completed=completed,
+            elapsed_s=elapsed,
+            qps=completed / elapsed,
+            mean_latency_s=float(np.mean(state.latencies)),
+            p99_latency_s=percentile(state.latencies, 99),
+            p50_latency_s=percentile(state.latencies, 50),
+            p95_latency_s=percentile(state.latencies, 95),
+            cpu_utilization=cores.utilization(elapsed),
+            device_utilization=device.utilization(elapsed),
+            read_bytes=device.bytes_read,
+            write_bytes=device.bytes_written,
+            recall=recall,
+            search_params=params,
+            tracer=tracer if trace else None,
+        )
+
+
+@dataclasses.dataclass
+class _RunState:
+    n_queries: int
+    max_queries: int
+    issued: int = 0
+    last_completion: float = 0.0
+    latencies: list[float] = dataclasses.field(default_factory=list)

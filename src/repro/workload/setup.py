@@ -1,0 +1,109 @@
+"""Benchmark setups: the paper's seven (engine, index) combinations.
+
+Section III-C of the paper evaluates five memory-based setups (Milvus-IVF,
+Milvus-HNSW, Qdrant-HNSW, Weaviate-HNSW, LanceDB-HNSW) and two
+storage-based ones (Milvus-DiskANN, LanceDB-IVF).  ``make_runner``
+builds any of them over any proxy dataset, caching the expensive
+collection construction in the index store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.ann.store import IndexStore, cache_key, default_store
+from repro.data.registry import Dataset, load_dataset
+from repro.data.spec import current_scale
+from repro.engines.engine import Collection, IndexSpec, VectorEngine
+from repro.errors import WorkloadError
+from repro.workload.runner import BenchRunner
+
+
+@dataclasses.dataclass(frozen=True)
+class SetupSpec:
+    """One benchmarked (engine, index) combination."""
+
+    name: str
+    engine: str
+    index_kind: str
+    storage_based: bool
+    #: Which search-time parameter this setup tunes (paper Table II).
+    tunable: str
+
+
+#: The paper's seven setups (Figure 2's legend).
+SETUPS = {
+    "milvus-ivf": SetupSpec("milvus-ivf", "milvus", "ivf", False, "nprobe"),
+    "milvus-hnsw": SetupSpec("milvus-hnsw", "milvus", "hnsw", False,
+                             "ef_search"),
+    "milvus-diskann": SetupSpec("milvus-diskann", "milvus", "diskann", True,
+                                "search_list"),
+    "qdrant-hnsw": SetupSpec("qdrant-hnsw", "qdrant", "hnsw", False,
+                             "ef_search"),
+    "weaviate-hnsw": SetupSpec("weaviate-hnsw", "weaviate", "hnsw", False,
+                               "ef_search"),
+    "lancedb-ivfpq": SetupSpec("lancedb-ivfpq", "lancedb", "ivf-pq", True,
+                               "nprobe"),
+    "lancedb-hnsw": SetupSpec("lancedb-hnsw", "lancedb", "hnsw-sq", False,
+                              "ef_search"),
+}
+
+
+def setup_names() -> tuple[str, ...]:
+    return tuple(SETUPS)
+
+
+def get_setup(name: str) -> SetupSpec:
+    if name not in SETUPS:
+        raise WorkloadError(
+            f"unknown setup {name!r}; choose from {tuple(SETUPS)}")
+    return SETUPS[name]
+
+
+def _index_spec(setup: SetupSpec, metric: str) -> IndexSpec:
+    if setup.index_kind == "hnsw":
+        return IndexSpec.of("hnsw", metric, M=16, ef_construction=200)
+    if setup.index_kind == "hnsw-sq":
+        return IndexSpec.of("hnsw-sq", metric, M=16, ef_construction=200)
+    # ivf / ivf-pq use the faiss nlist default; diskann its defaults.
+    return IndexSpec.of(setup.index_kind, metric)
+
+
+def prepare_collection(setup_name: str, dataset: Dataset,
+                       store: IndexStore | None = None) -> VectorEngine:
+    """An engine holding the dataset, indexed per the setup (cached)."""
+    setup = get_setup(setup_name)
+    store = store or default_store()
+    spec = dataset.spec
+    index_spec = _index_spec(setup, spec.metric)
+
+    def build() -> Collection:
+        engine = VectorEngine(setup.engine)
+        engine.create_collection(spec.name, spec.dim, index_spec,
+                                 storage_dim=spec.storage_dim)
+        engine.insert(spec.name, dataset.vectors)
+        engine.flush(spec.name)
+        return engine.collection(spec.name)
+
+    profile = VectorEngine(setup.engine).profile
+    build_fingerprint = (f"seg={profile.segment_bytes};"
+                         f"dc={profile.diskann_cache_bytes};"
+                         f"dl={profile.diskann_lru_bytes}")
+    key = cache_key(what="collection", setup=setup_name, dataset=spec.name,
+                    n=spec.n, dim=spec.dim, index=str(index_spec),
+                    build=build_fingerprint)
+    collection = store.get_or_build(key, build)
+    engine = VectorEngine(setup.engine)
+    engine._collections[spec.name] = collection
+    return engine
+
+
+def make_runner(setup_name: str, dataset_name: str,
+                scale: str | None = None,
+                store: IndexStore | None = None) -> BenchRunner:
+    """End-to-end: dataset + engine + collection + runner."""
+    dataset = load_dataset(dataset_name, scale or current_scale())
+    engine = prepare_collection(setup_name, dataset, store)
+    return BenchRunner(engine, dataset.spec.name, dataset.queries,
+                       ground_truth=dataset.ground_truth(10),
+                       paper_n=dataset.spec.paper_n)

@@ -1,0 +1,202 @@
+"""Behavioural tests for Vamana and DiskANN: graph shape, beam search,
+I/O accounting, caches, and the on-disk layout geometry."""
+
+import numpy as np
+import pytest
+
+from repro.ann import DiskANNIndex, build_vamana, greedy_search, robust_prune
+from repro.ann.diskann import DiskLayout
+from repro.ann.distance import make_kernel, prepare, prepare_query
+from repro.data.groundtruth import recall_at_k
+from repro.errors import IndexError_
+
+
+@pytest.fixture(scope="module")
+def graph(small_data):
+    return build_vamana(small_data, "cosine", R=16, L_build=32, seed=0)
+
+
+@pytest.fixture(scope="module")
+def diskann(small_data):
+    return DiskANNIndex(metric="cosine", R=16, L_build=32,
+                        storage_dim=768).build(small_data)
+
+
+class TestVamana:
+    def test_degrees_bounded_by_r(self, graph):
+        _mean, max_degree = graph.degree_stats()
+        assert max_degree <= 16
+
+    def test_graph_reasonably_dense(self, graph):
+        mean, _max = graph.degree_stats()
+        assert mean > 4.0
+
+    def test_medoid_is_a_valid_node(self, graph):
+        assert 0 <= graph.medoid < graph.n
+
+    def test_greedy_search_finds_self(self, graph, small_data):
+        prepared, metric = prepare(small_data, "cosine")
+        kernel = make_kernel(prepared, metric)
+        top, visited = greedy_search(graph.neighbors, kernel, graph.medoid,
+                                     prepared[17], L=16)
+        assert top[0][1] == 17
+        assert len(visited) >= 1
+
+    def test_robust_prune_respects_r(self, graph, small_data):
+        prepared, metric = prepare(small_data, "cosine")
+        kernel = make_kernel(prepared, metric)
+        candidates = [(float(d), i) for i, d in
+                      enumerate(kernel(prepared[0], slice(None)))]
+        kept = robust_prune(prepared, kernel, 0, candidates, alpha=1.2, R=8)
+        assert len(kept) <= 8
+        assert 0 not in kept  # never links to itself
+
+    def test_prune_keeps_nearest(self, graph, small_data):
+        prepared, metric = prepare(small_data, "cosine")
+        kernel = make_kernel(prepared, metric)
+        dists = kernel(prepared[0], slice(None))
+        candidates = [(float(d), i) for i, d in enumerate(dists) if i != 0]
+        kept = robust_prune(prepared, kernel, 0, candidates, alpha=1.2, R=8)
+        nearest = int(np.argsort(dists)[1])  # 0 itself excluded
+        assert kept[0] == nearest
+
+    def test_ip_metric_rejected(self, small_data):
+        with pytest.raises(IndexError_):
+            build_vamana(small_data, "ip", R=8)
+
+    def test_alpha_below_one_rejected(self, small_data):
+        with pytest.raises(IndexError_):
+            build_vamana(small_data, "l2", alpha=0.5)
+
+
+class TestDiskLayout:
+    def test_768d_node_fits_one_sector(self):
+        layout = DiskLayout(storage_dim=768, R=32)
+        assert layout.node_bytes <= 4096
+        assert layout.nodes_per_sector == 1
+        assert layout.node_requests(5) == ((5 * 4096, 4096),)
+
+    def test_1536d_node_spans_two_sectors(self):
+        layout = DiskLayout(storage_dim=1536, R=32)
+        assert layout.sectors_per_node == 2
+        requests = layout.node_requests(3)
+        assert len(requests) == 2
+        assert all(size == 4096 for _off, size in requests)
+        # contiguous sectors
+        assert requests[1][0] == requests[0][0] + 4096
+
+    def test_small_nodes_pack_per_sector(self):
+        layout = DiskLayout(storage_dim=64, R=8)
+        assert layout.nodes_per_sector > 1
+        a = layout.node_requests(0)
+        b = layout.node_requests(1)
+        assert a == b  # same sector
+
+    def test_total_bytes_alignment(self):
+        layout = DiskLayout(storage_dim=768, R=32)
+        assert layout.total_bytes(100) % 4096 == 0
+        assert layout.total_bytes(100) >= 100 * layout.node_bytes // 2
+
+
+class TestDiskANN:
+    def test_recall_reaches_090_at_modest_search_list(
+            self, diskann, small_queries, small_truth):
+        ids = [diskann.search(q, 10, search_list=20).ids
+               for q in small_queries]
+        assert recall_at_k(small_truth, ids, 10) > 0.9
+
+    def test_recall_monotone_in_search_list(self, diskann, small_queries,
+                                            small_truth):
+        recalls = []
+        for L in (10, 30, 100):
+            ids = [diskann.search(q, 10, search_list=L).ids
+                   for q in small_queries]
+            recalls.append(recall_at_k(small_truth, ids, 10))
+        assert recalls[0] <= recalls[2]
+        assert recalls[2] > 0.95
+
+    def test_all_requests_are_4k(self, diskann, small_queries):
+        result = diskann.search(small_queries[0], 10, search_list=20)
+        sizes = {size for step in result.work.steps
+                 if hasattr(step, "requests") for _o, size in step.requests}
+        assert sizes == {4096}
+
+    def test_io_grows_with_search_list(self, diskann, small_queries):
+        small = sum(diskann.search(q, 10, search_list=10).work.io_bytes
+                    for q in small_queries)
+        large = sum(diskann.search(q, 10, search_list=100).work.io_bytes
+                    for q in small_queries)
+        assert large > 2 * small
+
+    def test_wider_beam_fewer_rounds(self, diskann, small_queries):
+        narrow = [diskann.search(q, 10, search_list=30, beam_width=1)
+                  for q in small_queries]
+        wide = [diskann.search(q, 10, search_list=30, beam_width=8)
+                for q in small_queries]
+        assert (sum(r.work.io_rounds for r in wide)
+                < sum(r.work.io_rounds for r in narrow))
+
+    def test_beam_width_one_is_best_first(self, diskann, small_queries):
+        result = diskann.search(small_queries[0], 10, search_list=20,
+                                beam_width=1)
+        io_steps = [s for s in result.work.steps if hasattr(s, "requests")]
+        assert all(len(s.requests) + s.cache_hits == 1 for s in io_steps)
+
+    def test_static_cache_cuts_io(self, small_data, small_queries):
+        uncached = DiskANNIndex(metric="cosine", R=16, L_build=32,
+                                storage_dim=768).build(small_data)
+        layout_bytes = uncached.layout.node_bytes
+        cached = DiskANNIndex(metric="cosine", R=16, L_build=32,
+                              storage_dim=768,
+                              cache_bytes=100 * layout_bytes,
+                              ).build(small_data)
+        io_uncached = sum(uncached.search(q, 10).work.io_requests
+                          for q in small_queries)
+        io_cached = sum(cached.search(q, 10).work.io_requests
+                        for q in small_queries)
+        assert io_cached < io_uncached
+        hits = sum(cached.search(q, 10).work.cache_hits
+                   for q in small_queries)
+        assert hits > 0
+
+    def test_results_identical_with_and_without_cache(self, small_data,
+                                                      small_queries):
+        plain = DiskANNIndex(metric="cosine", R=16, L_build=32,
+                             storage_dim=768).build(small_data)
+        cached = DiskANNIndex(metric="cosine", R=16, L_build=32,
+                              storage_dim=768, cache_bytes=1 << 20,
+                              ).build(small_data)
+        for q in small_queries[:8]:
+            assert np.array_equal(plain.search(q, 10).ids,
+                                  cached.search(q, 10).ids)
+
+    def test_lru_cache_warms_on_repeats(self, small_data, small_queries):
+        index = DiskANNIndex(metric="cosine", R=16, L_build=32,
+                             storage_dim=768, lru_bytes=1 << 22,
+                             ).build(small_data)
+        cold = index.search(small_queries[0], 10).work
+        warm = index.search(small_queries[0], 10).work
+        assert warm.io_requests < cold.io_requests
+        index.reset_dynamic_cache()
+        recold = index.search(small_queries[0], 10).work
+        assert recold.io_requests == cold.io_requests
+
+    def test_search_before_build_raises(self):
+        with pytest.raises(IndexError_):
+            DiskANNIndex().search(np.zeros(4), 1)
+
+    def test_bad_params_raise(self, diskann, small_queries):
+        with pytest.raises(IndexError_):
+            diskann.search(small_queries[0], 10, search_list=0)
+        with pytest.raises(IndexError_):
+            diskann.search(small_queries[0], 10, beam_width=0)
+
+    def test_memory_much_smaller_than_disk(self, diskann):
+        # The whole point of DiskANN: RAM holds PQ codes, disk the graph.
+        assert diskann.memory_bytes() < diskann.disk_bytes()
+
+    def test_io_interleaves_with_cpu(self, diskann, small_queries):
+        from repro.ann.workprofile import CpuStep, IoStep
+        steps = diskann.search(small_queries[0], 10).work.steps
+        kinds = [type(s) for s in steps]
+        assert CpuStep in kinds and IoStep in kinds

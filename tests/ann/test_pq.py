@@ -1,0 +1,100 @@
+"""Unit tests for the product quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.ann.pq import ProductQuantizer
+from repro.errors import IndexError_
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    return rng.standard_normal((400, 16)).astype(np.float32)
+
+
+def test_dim_must_divide_into_subspaces():
+    with pytest.raises(IndexError_):
+        ProductQuantizer(dim=10, m=3)
+
+
+def test_nbits_bounds():
+    with pytest.raises(IndexError_):
+        ProductQuantizer(dim=8, m=2, nbits=9)
+    with pytest.raises(IndexError_):
+        ProductQuantizer(dim=8, m=2, nbits=0)
+
+
+def test_use_before_train_raises(data):
+    pq = ProductQuantizer(dim=16, m=4)
+    with pytest.raises(IndexError_):
+        pq.encode(data)
+    with pytest.raises(IndexError_):
+        pq.adc_table(data[0])
+
+
+def test_codes_shape_and_dtype(data):
+    pq = ProductQuantizer(dim=16, m=4).train(data)
+    codes = pq.encode(data)
+    assert codes.shape == (400, 4)
+    assert codes.dtype == np.uint8
+
+
+def test_single_vector_encode(data):
+    pq = ProductQuantizer(dim=16, m=4).train(data)
+    code = pq.encode(data[0])
+    assert code.shape == (4,)
+
+
+def test_decode_reduces_error_with_more_subspaces(data):
+    err = []
+    for m in (2, 8, 16):
+        pq = ProductQuantizer(dim=16, m=m).train(data)
+        recon = pq.decode(pq.encode(data))
+        err.append(float(((recon - data) ** 2).mean()))
+    assert err[0] > err[1] > err[2]
+
+
+def test_adc_matches_symmetric_distance_on_decoded(data):
+    pq = ProductQuantizer(dim=16, m=4).train(data)
+    codes = pq.encode(data)
+    q = data[7]
+    table = pq.adc_table(q)
+    adc = ProductQuantizer.adc_distances(table, codes)
+    decoded = pq.decode(codes)
+    exact = ((decoded - q) ** 2).sum(axis=1)
+    assert np.allclose(adc, exact, rtol=1e-4, atol=1e-4)
+
+
+def test_adc_ranks_close_to_true_ranks(data):
+    pq = ProductQuantizer(dim=16, m=16).train(data)
+    codes = pq.encode(data)
+    q = data[3] + 0.01
+    adc = ProductQuantizer.adc_distances(pq.adc_table(q), codes)
+    true = ((data - q) ** 2).sum(axis=1)
+    # The true nearest neighbour must rank in the ADC top-5.
+    assert true.argmin() in np.argsort(adc)[:5]
+
+
+def test_one_dim_subspaces_use_quantile_grid(data):
+    pq = ProductQuantizer(dim=16, m=16).train(data)
+    recon = pq.decode(pq.encode(data))
+    err = float(((recon - data) ** 2).mean())
+    assert err < 1e-3  # 256 levels per scalar: near-lossless
+
+
+def test_small_training_set_pads_codebooks():
+    X = np.random.default_rng(1).standard_normal((10, 8)).astype(np.float32)
+    pq = ProductQuantizer(dim=8, m=2).train(X)
+    codes = pq.encode(X)
+    assert np.isfinite(pq.decode(codes)).all()
+
+
+def test_code_bytes(data):
+    assert ProductQuantizer(dim=16, m=4).code_bytes() == 4
+
+
+def test_train_shape_mismatch_raises(data):
+    pq = ProductQuantizer(dim=8, m=2)
+    with pytest.raises(IndexError_):
+        pq.train(data)  # dim 16 != 8

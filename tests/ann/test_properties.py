@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for core data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann.distance import distances, normalize, pairwise, top_k
+from repro.ann.pq import ProductQuantizer
+from repro.ann.sq import ScalarQuantizer
+from repro.ann.workprofile import WorkProfile
+from repro.data.groundtruth import recall_at_k
+from repro.storage.pagecache import PageCache, merge_pages
+
+
+def arrays(n, dim, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, dim)).astype(np.float32)
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 40),
+       dim=st.integers(1, 16))
+@settings(max_examples=40, deadline=None)
+def test_l2_self_distance_is_minimal(seed, n, dim):
+    X = arrays(n, dim, seed)
+    d = distances(X[0], X, "l2")
+    assert d[0] <= d.min() + 1e-5
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(1, 30),
+       k=st.integers(1, 40))
+@settings(max_examples=40, deadline=None)
+def test_top_k_returns_sorted_unique_indices(seed, n, k):
+    rng = np.random.default_rng(seed)
+    d = rng.standard_normal(n)
+    idx = top_k(d, k)
+    assert len(idx) == min(k, n)
+    assert len(set(idx.tolist())) == len(idx)
+    assert np.all(np.diff(d[idx]) >= -1e-12)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_normalize_idempotent(seed):
+    X = arrays(8, 6, seed)
+    once = normalize(X)
+    twice = normalize(once)
+    assert np.allclose(once, twice, atol=1e-5)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_pairwise_l2_triangle_inequality(seed):
+    X = arrays(6, 4, seed)
+    D = np.sqrt(pairwise(X, X, "l2"))
+    for i in range(6):
+        for j in range(6):
+            for k in range(6):
+                assert D[i, j] <= D[i, k] + D[k, j] + 1e-4
+
+
+@given(seed=st.integers(0, 10_000), m=st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=20, deadline=None)
+def test_pq_decode_within_data_envelope(seed, m):
+    X = arrays(64, 8, seed)
+    pq = ProductQuantizer(dim=8, m=m).train(X)
+    recon = pq.decode(pq.encode(X))
+    assert recon.shape == X.shape
+    assert np.isfinite(recon).all()
+    # Reconstruction never leaves the per-dimension data range by much.
+    assert (recon <= X.max(axis=0) + 1e-4).all()
+    assert (recon >= X.min(axis=0) - 1e-4).all()
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_sq_roundtrip_bounded_error(seed):
+    X = arrays(40, 5, seed) * 10
+    sq = ScalarQuantizer().train(X)
+    recon = sq.decode(sq.encode(X))
+    span = X.max(axis=0) - X.min(axis=0)
+    assert (np.abs(recon - X) <= span / 255 + 1e-4).all()
+
+
+@given(truth_row=st.lists(st.integers(0, 50), min_size=5, max_size=5,
+                          unique=True),
+       found_row=st.lists(st.integers(0, 50), min_size=5, max_size=5,
+                          unique=True))
+@settings(max_examples=50, deadline=None)
+def test_recall_bounds_and_identity(truth_row, found_row):
+    truth = np.array([truth_row])
+    found = np.array([found_row])
+    r = recall_at_k(truth, found, 5)
+    assert 0.0 <= r <= 1.0
+    assert recall_at_k(truth, truth, 5) == 1.0
+
+
+@given(pages=st.lists(st.integers(0, 200), min_size=0, max_size=60,
+                      unique=True))
+@settings(max_examples=60, deadline=None)
+def test_merge_pages_covers_exactly_the_input(pages):
+    pages = sorted(pages)
+    requests = merge_pages(pages, 4096, 128 * 1024)
+    covered = []
+    for offset, size in requests:
+        assert offset % 4096 == 0 and size % 4096 == 0
+        assert size <= 128 * 1024
+        covered.extend(range(offset // 4096, (offset + size) // 4096))
+    assert covered == pages
+
+
+@given(capacity=st.integers(1, 16),
+       accesses=st.lists(st.integers(0, 30), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_page_cache_never_exceeds_capacity(capacity, accesses):
+    cache = PageCache(capacity_bytes=capacity * 4096)
+    for page in accesses:
+        cache.access(page)
+        assert len(cache) <= capacity
+    assert cache.hits + cache.misses == len(accesses)
+
+
+@given(evals=st.lists(st.tuples(st.integers(0, 100), st.integers(0, 100)),
+                      min_size=0, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_work_profile_merges_consecutive_cpu_steps(evals):
+    work = WorkProfile()
+    for full, pq in evals:
+        work.add_cpu(full_evals=full, pq_evals=pq)
+    # All CPU work merged into at most one step, totals preserved.
+    assert len(work.steps) <= 1
+    assert work.full_evals == sum(full for full, _pq in evals)
+    assert work.pq_evals == sum(pq for _full, pq in evals)

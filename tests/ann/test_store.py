@@ -1,0 +1,92 @@
+"""Unit tests for the built-index disk cache."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ann import DiskANNIndex, HNSWIndex, IndexStore, cache_key
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def store(tmp_path):
+    return IndexStore(tmp_path)
+
+
+def test_builds_once_then_hits(store):
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return {"value": 42}
+
+    key = cache_key(kind="test", n=1)
+    assert store.get_or_build(key, factory) == {"value": 42}
+    assert store.get_or_build(key, factory) == {"value": 42}
+    assert len(calls) == 1
+    assert store.hits == 1 and store.builds == 1
+
+
+def test_distinct_keys_build_separately(store):
+    a = store.get_or_build(cache_key(kind="a"), lambda: 1)
+    b = store.get_or_build(cache_key(kind="b"), lambda: 2)
+    assert (a, b) == (1, 2)
+
+
+def test_cache_key_distinguishes_params():
+    assert cache_key(kind="hnsw", M=16) != cache_key(kind="hnsw", M=32)
+
+
+def test_cache_key_stable_across_order():
+    assert cache_key(a=1, b=2) == cache_key(b=2, a=1)
+
+
+def test_cache_key_filesystem_safe():
+    key = cache_key(name="we/ird na:me", n=5)
+    assert "/" not in key and ":" not in key and " " not in key
+
+
+def test_cache_key_empty_raises():
+    with pytest.raises(ReproError):
+        cache_key()
+
+
+def test_refresh_forces_rebuild(store):
+    key = cache_key(kind="refresh")
+    store.get_or_build(key, lambda: 1)
+    assert store.get_or_build(key, lambda: 2, refresh=True) == 2
+
+
+def test_corrupt_entry_is_rebuilt(store):
+    key = cache_key(kind="corrupt")
+    store.get_or_build(key, lambda: 1)
+    store.path_for(key).write_bytes(b"not a pickle")
+    assert store.get_or_build(key, lambda: 99) == 99
+
+
+def test_clear_removes_entries(store):
+    store.get_or_build(cache_key(kind="x"), lambda: 1)
+    store.get_or_build(cache_key(kind="y"), lambda: 2)
+    assert store.clear() == 2
+    assert store.clear() == 0
+
+
+def test_built_indexes_roundtrip_through_store(store, small_data,
+                                               small_queries):
+    hnsw = HNSWIndex(metric="cosine", M=8, ef_construction=40)
+    key = cache_key(kind="hnsw-roundtrip")
+    built = store.get_or_build(key, lambda: hnsw.build(small_data))
+    loaded = store.get_or_build(key, lambda: None)
+    q = small_queries[0]
+    assert np.array_equal(built.search(q, 5, ef_search=20).ids,
+                          loaded.search(q, 5, ef_search=20).ids)
+
+
+def test_diskann_pickles_with_caches(small_data, small_queries):
+    index = DiskANNIndex(metric="cosine", R=8, L_build=16, storage_dim=768,
+                         cache_bytes=1 << 18, lru_bytes=1 << 18,
+                         ).build(small_data)
+    clone = pickle.loads(pickle.dumps(index))
+    q = small_queries[0]
+    assert np.array_equal(index.search(q, 5).ids, clone.search(q, 5).ids)

@@ -1,0 +1,29 @@
+"""Shared fixtures: small clustered datasets for fast index tests."""
+
+import numpy as np
+import pytest
+
+from repro.ann.flat import FlatIndex
+from repro.data.synthetic import make_vectors
+
+
+@pytest.fixture(scope="session")
+def small_data():
+    """500 clustered unit vectors in 24 dims (latent 8)."""
+    return make_vectors(500, 24, n_clusters=12, seed=7, latent_dim=8)
+
+
+@pytest.fixture(scope="session")
+def small_queries(small_data):
+    rng = np.random.default_rng(99)
+    rows = rng.integers(0, small_data.shape[0], size=32)
+    noise = rng.standard_normal((32, small_data.shape[1])) * 0.2
+    Q = small_data[rows] + noise.astype(np.float32)
+    return Q / np.linalg.norm(Q, axis=1, keepdims=True)
+
+
+@pytest.fixture(scope="session")
+def small_truth(small_data, small_queries):
+    """Exact cosine top-10 for the small dataset."""
+    flat = FlatIndex(metric="cosine").build(small_data)
+    return np.vstack([flat.search(q, 10).ids for q in small_queries])

@@ -1,0 +1,103 @@
+"""Unit tests for the capacity/cost projection model."""
+
+import math
+
+import pytest
+
+from repro.core.capacity import (memory_saving, project, work_growth,
+                                 Projection)
+from repro.errors import ReproError
+from repro.workload.metrics import RunResult
+
+
+def make_result(completed=1000, elapsed=1.0, cpu=0.5, read_bytes=0):
+    return RunResult(
+        engine="milvus", index_kind="diskann", dataset="d", concurrency=8,
+        completed=completed, elapsed_s=elapsed, qps=completed / elapsed,
+        mean_latency_s=0.001, p99_latency_s=0.002, cpu_utilization=cpu,
+        device_utilization=0.1, read_bytes=read_bytes, write_bytes=0)
+
+
+class TestWorkGrowth:
+    def test_cluster_sqrt(self):
+        assert work_growth("ivf", 10_000, 1_000_000) == pytest.approx(10.0)
+        assert work_growth("spann", 100, 10_000) == pytest.approx(10.0)
+
+    def test_graph_log(self):
+        expected = math.log(1_000_000_000) / math.log(1_000_000)
+        assert work_growth("diskann", 10 ** 6, 10 ** 9) == (
+            pytest.approx(expected))
+
+    def test_flat_linear(self):
+        assert work_growth("flat", 100, 1000) == pytest.approx(10.0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ReproError):
+            work_growth("btree", 10, 100)
+
+    def test_bad_sizes_raise(self):
+        with pytest.raises(ReproError):
+            work_growth("ivf", 0, 100)
+
+
+class TestProject:
+    def common(self, **overrides):
+        kwargs = dict(
+            index_kind="diskann", n_from=10 ** 6, n_to=10 ** 9,
+            vector_bytes=3072, memory_bytes_from=10 ** 8,
+            disk_bytes_from=3 * 10 ** 9, cores=20,
+            node_cache_bytes=0)
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_footprints_scale_linearly(self):
+        p = project(make_result(read_bytes=4096 * 1000), **self.common())
+        assert p.memory_bytes == 10 ** 11
+        assert p.disk_bytes == 3 * 10 ** 12
+
+    def test_cpu_bound_qps_decreases_with_scale(self):
+        result = make_result(read_bytes=4096 * 1000)
+        near = project(result, **self.common(n_to=2 * 10 ** 6))
+        far = project(result, **self.common(n_to=10 ** 9))
+        assert far.cpu_bound_qps < near.cpu_bound_qps
+
+    def test_cache_coverage_raises_io_at_scale(self):
+        result = make_result(read_bytes=4096 * 5000)
+        uncached = project(result, **self.common())
+        cached = project(result, **self.common(
+            node_cache_bytes=2 * 10 ** 9))  # covers 2/3 at proxy scale
+        # With a fixed cache, the target-scale miss rate explodes
+        # relative to the proxy's, inflating per-query I/O.
+        assert (cached.io_requests_per_query
+                > uncached.io_requests_per_query)
+
+    def test_device_becomes_bottleneck_with_enough_io(self):
+        # 5000 x 4 KiB requests per query at proxy scale: at a billion
+        # vectors the 1.3 MIOPS device caps QPS long before 20 cores do.
+        heavy = make_result(cpu=0.05, read_bytes=4096 * 5_000_000)
+        p = project(heavy, **self.common())
+        assert p.bottleneck == "device"
+        assert p.max_qps == p.device_bound_qps
+
+    def test_no_io_means_cpu_bound(self):
+        p = project(make_result(read_bytes=0),
+                    **self.common(index_kind="hnsw"))
+        assert p.bottleneck == "cpu"
+        assert p.device_bound_qps == float("inf")
+
+    def test_needs_completed_queries(self):
+        with pytest.raises(ReproError):
+            project(make_result(completed=0), **self.common())
+
+
+def test_memory_saving():
+    assert memory_saving(100, 25) == pytest.approx(0.75)
+    with pytest.raises(ReproError):
+        memory_saving(0, 10)
+
+
+def test_projection_max_qps_is_min():
+    p = Projection("diskann", 10 ** 9, 0, 0, 0.001, 10.0, 40960.0,
+                   cpu_bound_qps=20_000.0, device_bound_qps=5_000.0)
+    assert p.max_qps == 5_000.0
+    assert p.bottleneck == "device"

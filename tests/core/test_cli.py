@@ -1,0 +1,47 @@
+"""Tests for the command-line interface (fast commands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_fio_command_runs(capsys):
+    assert main(["fio"]) == 0
+    out = capsys.readouterr().out
+    assert "324.3" in out          # paper column present
+    assert "KIOPS" in out
+
+
+def test_tune_command(capsys):
+    assert main(["tune", "-s", "milvus-hnsw", "-d", "openai-500k"]) == 0
+    out = capsys.readouterr().out
+    assert "recall@10" in out
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "-s", "milvus-hnsw", "-d", "openai-500k",
+                 "--threads", "1,4"]) == 0
+    out = capsys.readouterr().out
+    assert "QPS" in out and "P99" in out
+
+
+def test_unknown_setup_rejected():
+    with pytest.raises(SystemExit):
+        main(["sweep", "-s", "bogus", "-d", "openai-500k"])
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(SystemExit):
+        main(["tune", "-s", "milvus-hnsw", "-d", "sift-1b"])
+
+
+def test_figure_out_of_range(capsys):
+    assert main(["figure", "99", "--datasets", "openai-500k"]) == 2
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in ("fio", "table2", "tune", "sweep", "figure", "study",
+                    "prebuild"):
+        assert command in text

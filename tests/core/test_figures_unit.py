@@ -1,0 +1,64 @@
+"""Unit tests for figure-builder helpers using stubbed sweeps."""
+
+import pytest
+
+from repro.core import figures
+from repro.workload.metrics import RunResult
+
+
+def fake_result(qps):
+    return RunResult(
+        engine="milvus", index_kind="diskann", dataset="d", concurrency=1,
+        completed=100, elapsed_s=1.0, qps=qps, mean_latency_s=0.001,
+        p99_latency_s=0.002, cpu_utilization=0.2, device_utilization=0.0,
+        read_bytes=0, write_bytes=0)
+
+
+@pytest.fixture(autouse=True)
+def stub_sweeps(monkeypatch):
+    def fake_sweep(setup, dataset, threads=figures.THREADS, params=None,
+                   trace=False):
+        # QPS doubles until 8 threads, then plateaus.
+        return [fake_result(min(t, 8) * 100.0) for t in threads]
+
+    monkeypatch.setattr(figures, "perf_sweep", fake_sweep)
+    yield
+    figures.clear_caches()
+
+
+def test_plateau_concurrency_finds_knee():
+    plateau = figures.plateau_concurrency("milvus-diskann", "cohere-1m",
+                                          threads=(1, 2, 4, 8, 16, 32))
+    assert plateau == 8
+
+
+def test_plateau_concurrency_returns_last_if_always_scaling(monkeypatch):
+    monkeypatch.setattr(
+        figures, "perf_sweep",
+        lambda *a, **k: [fake_result(t * 100.0) for t in (1, 2, 4, 8)])
+    plateau = figures.plateau_concurrency("milvus-diskann", "cohere-1m",
+                                          threads=(1, 2, 4, 8))
+    assert plateau == 8
+
+
+def test_fig2_shape_from_stub():
+    data = figures.fig2_throughput(("cohere-1m",),
+                                   setups=("milvus-hnsw",),
+                                   threads=(1, 2, 4))
+    assert data["threads"] == [1, 2, 4]
+    assert data["datasets"]["cohere-1m"]["milvus-hnsw"] == [100.0, 200.0,
+                                                            400.0]
+
+
+def test_fig4_converts_to_percent():
+    data = figures.fig4_cpu(("cohere-10m",), setups=("milvus-hnsw",),
+                            threads=(1,))
+    assert data["datasets"]["cohere-10m"]["milvus-hnsw"] == [20.0]
+
+
+def test_clear_caches_empties_registries():
+    figures._runner_cache["x"] = object()
+    figures._sweep_cache["y"] = []
+    figures.clear_caches()
+    assert not figures._runner_cache
+    assert not figures._sweep_cache

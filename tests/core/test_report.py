@@ -1,0 +1,51 @@
+"""Unit tests for report rendering."""
+
+from repro.core.observations import ObservationCheck
+from repro.core.report import (format_table, render_fig6,
+                               render_observations, render_series_figure,
+                               render_table2)
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "---" in lines[1]
+    assert len(lines) == 4
+    # Columns align: every 'bbbb'-column entry starts at same offset.
+    offsets = {line.find(value) for line, value in
+               zip(lines[2:], ["2", "4"])}
+    assert len(offsets) == 1
+
+
+def test_render_series_figure_marks_oom():
+    data = {"threads": [1, 2], "datasets": {
+        "d": {"setup-a": [10.0, None]}}}
+    text = render_series_figure(data, "QPS")
+    assert "OOM" in text
+    assert "[d]" in text
+
+
+def test_render_table2():
+    table = {"cohere-1m": {"milvus-hnsw": {"ef_search": 14,
+                                           "recall": 0.904}}}
+    text = render_table2(table)
+    assert "cohere-1m" in text
+    assert "0.904" in text
+
+
+def test_render_observations_verdicts():
+    checks = [ObservationCheck("O-1", "claim one", "meas", True),
+              ObservationCheck("O-2", "claim two", "meas", False)]
+    text = render_observations(checks, {"KF-1 something": True})
+    assert "HOLDS" in text and "DIFFERS" in text
+    assert "KF-1 something" in text
+
+
+def test_render_fig6():
+    data = {"cohere-1m": {1: {"per_query_kib": 20.0, "fraction_4k": 1.0},
+                          256: {"per_query_kib": 18.0,
+                                "fraction_4k": 0.9999}}}
+    text = render_fig6(data)
+    assert "20.0" in text and "18.0" in text
+    assert "1.0000" in text  # the concurrency-1 4 KiB fraction column

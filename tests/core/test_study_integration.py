@@ -1,0 +1,83 @@
+"""Integration test: a miniature end-to-end study on the small datasets.
+
+Exercises the same pipeline as the full benchmark harness — tuning,
+sweeps, tracing, figure builders, report rendering — restricted to the
+two small proxies and a short thread axis so it stays test-suite fast.
+"""
+
+import pytest
+
+from repro.core import figures
+from repro.core.report import render_series_figure, render_table2
+
+SMALL = ("cohere-1m", "openai-500k")
+THREADS = (1, 4, 16)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_figure_caches():
+    figures.clear_caches()
+    yield
+    figures.clear_caches()
+
+
+@pytest.fixture(scope="module")
+def mini_fig2():
+    return figures.fig2_throughput(SMALL, setups=(
+        "milvus-ivf", "milvus-hnsw", "milvus-diskann"), threads=THREADS)
+
+
+def test_mini_fig2_shape(mini_fig2):
+    assert set(mini_fig2["datasets"]) == set(SMALL)
+    for per_setup in mini_fig2["datasets"].values():
+        for series in per_setup.values():
+            assert len(series) == len(THREADS)
+            assert all(v > 0 for v in series)
+
+
+def test_mini_fig2_index_ordering(mini_fig2):
+    """Even on small proxies at 16 threads: HNSW >= DiskANN > IVF."""
+    for dataset, per_setup in mini_fig2["datasets"].items():
+        hnsw = per_setup["milvus-hnsw"][-1]
+        diskann = per_setup["milvus-diskann"][-1]
+        ivf = per_setup["milvus-ivf"][-1]
+        assert diskann > ivf, dataset
+        assert hnsw > ivf, dataset
+
+
+def test_mini_fig3_latency_ordering():
+    fig3 = figures.fig3_latency(SMALL, setups=(
+        "milvus-ivf", "milvus-hnsw", "milvus-diskann"), threads=THREADS)
+    for dataset, per_setup in fig3["datasets"].items():
+        assert (per_setup["milvus-hnsw"][0]
+                < per_setup["milvus-diskann"][0]
+                < per_setup["milvus-ivf"][0]), dataset
+
+
+def test_plateau_detection():
+    plateau = figures.plateau_concurrency("milvus-diskann", "openai-500k",
+                                          threads=THREADS)
+    assert plateau in THREADS
+
+
+def test_mini_fig6():
+    data = figures.fig6_per_query_io(("cohere-1m",),
+                                     concurrencies=(1, 16))
+    entry = data["cohere-1m"]
+    assert entry[1]["fraction_4k"] >= 0.99
+    assert entry[1]["per_query_kib"] >= entry[16]["per_query_kib"]
+
+
+def test_searchlist_mini_sweep():
+    sweep = figures.searchlist_sweep("openai-500k",
+                                     search_lists=(10, 50),
+                                     concurrencies=(1,))
+    assert sweep[50][1]["qps"] < sweep[10][1]["qps"]
+    assert sweep[50][1]["recall"] >= sweep[10][1]["recall"]
+    assert sweep[50][1]["per_query_kib"] > sweep[10][1]["per_query_kib"]
+
+
+def test_renderers_accept_real_data(mini_fig2):
+    assert "[cohere-1m]" in render_series_figure(mini_fig2, "QPS", 0)
+    table = figures.table2_data(("openai-500k",))
+    assert "openai-500k" in render_table2(table)

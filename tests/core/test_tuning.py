@@ -1,0 +1,75 @@
+"""Tests for the Table II tuning methodology."""
+
+import pytest
+
+from repro.core.tuning import smallest_passing, tune_setup
+from repro.errors import WorkloadError
+
+
+class TestSmallestPassing:
+    def test_finds_exact_threshold(self):
+        # recall = value / 100, target 0.9 -> smallest passing is 90.
+        value, recall = smallest_passing(lambda v: v / 100, 1, 512, 0.9)
+        assert value == 90
+        assert recall == pytest.approx(0.9)
+
+    def test_low_already_passes(self):
+        value, _ = smallest_passing(lambda v: 1.0, 10, 512, 0.9)
+        assert value == 10
+
+    def test_unreachable_target_returns_high(self):
+        value, recall = smallest_passing(lambda v: 0.5, 1, 64, 0.9)
+        assert value == 64
+        assert recall == 0.5
+
+    def test_evaluation_count_is_logarithmic(self):
+        calls = []
+
+        def evaluate(v):
+            calls.append(v)
+            return v / 1000
+
+        smallest_passing(evaluate, 1, 512, 0.9)
+        assert len(set(calls)) < 25
+
+    def test_bad_bracket_raises(self):
+        with pytest.raises(WorkloadError):
+            smallest_passing(lambda v: 1.0, 10, 5, 0.9)
+
+
+class TestTuneSetup:
+    """Tuning on the small proxy datasets (cached collections)."""
+
+    @pytest.mark.parametrize("setup,param", [
+        ("milvus-hnsw", "ef_search"),
+        ("milvus-ivf", "nprobe"),
+        ("milvus-diskann", "search_list"),
+    ])
+    def test_reaches_target_recall(self, setup, param):
+        tuned = tune_setup(setup, "openai-500k")
+        assert tuned.recall >= 0.9
+        assert param in tuned.param_dict
+
+    def test_diskann_minimum_search_list_suffices(self):
+        # Paper: DiskANN already exceeds 0.9 at the minimum (10).
+        tuned = tune_setup("milvus-diskann", "openai-500k")
+        assert tuned.param_dict["search_list"] == 10
+        assert tuned.recall >= 0.93
+
+    def test_lancedb_ivfpq_reuses_milvus_nprobe_and_misses_target(self):
+        milvus = tune_setup("milvus-ivf", "openai-500k")
+        lance = tune_setup("lancedb-ivfpq", "openai-500k")
+        assert lance.param_dict["nprobe"] == milvus.param_dict["nprobe"]
+        # PQ costs accuracy: the paper reports 0.64-0.73 here.
+        assert lance.recall < 0.9
+
+    def test_quantized_hnsw_needs_at_least_milvus_ef(self):
+        milvus = tune_setup("milvus-hnsw", "openai-500k")
+        lance = tune_setup("lancedb-hnsw", "openai-500k")
+        assert (lance.param_dict["ef_search"]
+                >= milvus.param_dict["ef_search"])
+
+    def test_tuning_is_cached(self):
+        first = tune_setup("milvus-hnsw", "openai-500k")
+        second = tune_setup("milvus-hnsw", "openai-500k")
+        assert first == second

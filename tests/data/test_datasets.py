@@ -1,0 +1,130 @@
+"""Unit tests for dataset specs, generation, and ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.data import (DATASET_NAMES, SCALING_PAIRS, exact_knn, get_spec,
+                        load_dataset, make_vectors, recall_at_k)
+from repro.errors import DatasetError
+
+
+class TestSpec:
+    def test_all_four_paper_datasets_exist(self):
+        assert set(DATASET_NAMES) == {"cohere-1m", "cohere-10m",
+                                      "openai-500k", "openai-5m"}
+
+    def test_ten_x_ratio_preserved(self):
+        for small, large in SCALING_PAIRS:
+            assert get_spec(large).n == 10 * get_spec(small).n
+
+    def test_nominal_dims_match_paper(self):
+        assert get_spec("cohere-1m").storage_dim == 768
+        assert get_spec("openai-5m").storage_dim == 1536
+
+    def test_scales_multiply_cardinality(self):
+        tiny = get_spec("cohere-1m", "tiny")
+        small = get_spec("cohere-1m", "small")
+        assert small.n == 4 * tiny.n
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            get_spec("sift-1b")
+
+    def test_unknown_scale_raises(self):
+        with pytest.raises(DatasetError):
+            get_spec("cohere-1m", "galactic")
+
+    def test_scale_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "small")
+        assert get_spec("cohere-1m").n == 16_000
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(DatasetError):
+            get_spec("cohere-1m")
+
+
+class TestGenerator:
+    def test_vectors_are_unit_norm(self):
+        X = make_vectors(100, 16, n_clusters=4, seed=0, latent_dim=8)
+        assert np.allclose(np.linalg.norm(X, axis=1), 1.0, atol=1e-5)
+
+    def test_deterministic(self):
+        a = make_vectors(50, 8, 4, seed=3, latent_dim=4)
+        b = make_vectors(50, 8, 4, seed=3, latent_dim=4)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_vectors(50, 8, 4, seed=3, latent_dim=4)
+        b = make_vectors(50, 8, 4, seed=4, latent_dim=4)
+        assert not np.array_equal(a, b)
+
+    def test_clustered_structure_exists(self):
+        # Mean nearest-neighbour similarity should far exceed the mean
+        # pairwise similarity if clusters exist.
+        X = make_vectors(300, 16, n_clusters=6, seed=1, latent_dim=8)
+        sims = X @ X.T
+        np.fill_diagonal(sims, -2)
+        assert sims.max(axis=1).mean() > sims.mean() + 0.3
+
+    def test_latent_dim_must_fit(self):
+        with pytest.raises(DatasetError):
+            make_vectors(10, 4, 2, seed=0, latent_dim=8)
+
+    def test_bad_args_raise(self):
+        with pytest.raises(DatasetError):
+            make_vectors(0, 4, 2, seed=0)
+
+
+class TestLoadDataset:
+    def test_load_shapes(self):
+        ds = load_dataset("openai-500k")
+        assert ds.vectors.shape == (ds.spec.n, ds.spec.dim)
+        assert ds.queries.shape == (ds.spec.n_queries, ds.spec.dim)
+
+    def test_repeated_loads_share_object(self):
+        assert load_dataset("openai-500k") is load_dataset("openai-500k")
+
+    def test_ground_truth_cached_per_k(self):
+        ds = load_dataset("openai-500k")
+        assert ds.ground_truth(10) is ds.ground_truth(10)
+        assert ds.ground_truth(10).shape == (ds.spec.n_queries, 10)
+
+    def test_queries_are_not_database_rows(self):
+        ds = load_dataset("openai-500k")
+        gt = ds.ground_truth(1)
+        exact_hits = sum(
+            np.allclose(ds.queries[i], ds.vectors[gt[i, 0]])
+            for i in range(20))
+        assert exact_hits == 0
+
+
+class TestGroundTruth:
+    def test_exact_knn_self_is_nearest(self, small_data):
+        gt = exact_knn(small_data, small_data[:5], 3, "cosine")
+        assert gt[:, 0].tolist() == [0, 1, 2, 3, 4]
+
+    def test_bad_k_raises(self, small_data):
+        with pytest.raises(DatasetError):
+            exact_knn(small_data, small_data[:2], 0, "cosine")
+        with pytest.raises(DatasetError):
+            exact_knn(small_data, small_data[:2], 10 ** 6, "cosine")
+
+    def test_recall_perfect_and_zero(self):
+        truth = np.array([[0, 1, 2]])
+        assert recall_at_k(truth, np.array([[0, 1, 2]]), 3) == 1.0
+        assert recall_at_k(truth, np.array([[7, 8, 9]]), 3) == 0.0
+
+    def test_recall_partial(self):
+        truth = np.array([[0, 1, 2, 3]])
+        assert recall_at_k(truth, np.array([[0, 1, 9, 9]]), 4) == 0.5
+
+    def test_recall_order_independent(self):
+        truth = np.array([[0, 1, 2]])
+        assert recall_at_k(truth, np.array([[2, 0, 1]]), 3) == 1.0
+
+    def test_recall_shape_mismatch_raises(self):
+        with pytest.raises(DatasetError):
+            recall_at_k(np.array([[0, 1]]), np.array([[0], [1]]), 2)
+
+    def test_recall_narrow_truth_raises(self):
+        with pytest.raises(DatasetError):
+            recall_at_k(np.array([[0]]), np.array([[0]]), 5)

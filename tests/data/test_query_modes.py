@@ -1,0 +1,56 @@
+"""Tests for query-generation modes (in-distribution vs OOD)."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.data.spec import get_spec
+from repro.data.synthetic import make_queries
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("openai-500k")
+
+
+def test_default_mode_is_in_distribution(dataset):
+    spec = get_spec("openai-500k")
+    queries = make_queries(spec, dataset.vectors)
+    assert np.array_equal(queries, dataset.queries)
+
+
+def test_ood_queries_differ_from_default(dataset):
+    spec = get_spec("openai-500k")
+    ood = make_queries(spec, dataset.vectors, mode="ood")
+    assert ood.shape == dataset.queries.shape
+    assert not np.allclose(ood, dataset.queries)
+
+
+def test_ood_queries_are_normalized(dataset):
+    spec = get_spec("openai-500k")
+    ood = make_queries(spec, dataset.vectors, mode="ood")
+    assert np.allclose(np.linalg.norm(ood, axis=1), 1.0, atol=1e-5)
+
+
+def test_ood_queries_farther_from_database(dataset):
+    """OOD queries sit farther from their nearest database vector."""
+    spec = get_spec("openai-500k")
+    ood = make_queries(spec, dataset.vectors, n_queries=50, mode="ood")
+    in_dist = dataset.queries[:50]
+    X = dataset.vectors
+    def nearest_sim(Q):
+        return (Q @ X.T).max(axis=1).mean()
+    assert nearest_sim(ood) < nearest_sim(in_dist)
+
+
+def test_unknown_mode_raises(dataset):
+    spec = get_spec("openai-500k")
+    with pytest.raises(DatasetError):
+        make_queries(spec, dataset.vectors, mode="weird")
+
+
+def test_bad_n_queries_raises(dataset):
+    spec = get_spec("openai-500k")
+    with pytest.raises(DatasetError):
+        make_queries(spec, dataset.vectors, n_queries=0)

@@ -1,0 +1,219 @@
+"""Unit tests for engine components: profiles, payloads, WAL, segments,
+cost model."""
+
+import numpy as np
+import pytest
+
+from repro.ann.workprofile import CpuStep, IoStep, WorkProfile
+from repro.engines import (CostModel, ENGINE_NAMES, GrowingBuffer,
+                           PayloadStore, Predicate, Filter, WriteAheadLog,
+                           get_profile, plan_segments)
+from repro.errors import EngineError
+
+
+class TestProfiles:
+    def test_all_four_databases_present(self):
+        assert set(ENGINE_NAMES) == {"milvus", "qdrant", "weaviate",
+                                     "lancedb"}
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(EngineError):
+            get_profile("pinecone")
+
+    def test_only_milvus_supports_diskann(self):
+        # The paper: DiskANN is the only storage-based graph index in
+        # the studied systems, and only Milvus offers it.
+        assert get_profile("milvus").supports("diskann")
+        for name in ("qdrant", "weaviate", "lancedb"):
+            assert not get_profile(name).supports("diskann")
+
+    def test_lancedb_only_quantized(self):
+        lance = get_profile("lancedb")
+        assert lance.supports("ivf-pq") and lance.supports("hnsw-sq")
+        assert not lance.supports("hnsw")
+
+    def test_lancedb_is_embedded(self):
+        assert get_profile("lancedb").deployment == "embedded"
+        assert get_profile("lancedb").rpc_s == 0.0
+
+    def test_milvus_is_the_kernel_baseline(self):
+        factors = {name: get_profile(name).cpu_factor
+                   for name in ENGINE_NAMES}
+        assert factors["milvus"] == min(factors.values())
+
+    def test_segmentation_ordering(self):
+        # Milvus: small segments; Qdrant: larger; Weaviate: monolithic.
+        milvus = get_profile("milvus").segment_bytes
+        qdrant = get_profile("qdrant").segment_bytes
+        assert milvus < qdrant
+        assert get_profile("weaviate").segment_bytes is None
+
+
+class TestPayloads:
+    def test_equality_predicate(self):
+        p = Predicate("color", "eq", "red")
+        assert p.matches({"color": "red"})
+        assert not p.matches({"color": "blue"})
+        assert not p.matches({})
+        assert not p.matches(None)
+
+    def test_range_predicate(self):
+        p = Predicate("price", "range", low=10, high=20)
+        assert p.matches({"price": 15})
+        assert not p.matches({"price": 5})
+        assert not p.matches({"price": 25})
+
+    def test_range_needs_a_bound(self):
+        with pytest.raises(EngineError):
+            Predicate("x", "range")
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(EngineError):
+            Predicate("x", "like")
+
+    def test_filter_conjunction(self):
+        f = Filter.where(a=1).and_(Filter.range("b", low=0))
+        assert f.matches({"a": 1, "b": 5})
+        assert not f.matches({"a": 1, "b": -1})
+        assert not f.matches({"a": 2, "b": 5})
+
+    def test_store_roundtrip_and_delete(self):
+        store = PayloadStore()
+        store.put(1, {"a": 1})
+        store.put(2, None)
+        assert store.get(1) == {"a": 1}
+        assert store.get(2) is None
+        store.delete(1)
+        assert store.get(1) is None
+
+    def test_store_rejects_non_dict(self):
+        with pytest.raises(EngineError):
+            PayloadStore().put(1, [1, 2])
+
+    def test_none_filter_matches_everything(self):
+        store = PayloadStore()
+        assert store.matches(42, None)
+
+
+class TestWal:
+    def test_append_sequences(self):
+        wal = WriteAheadLog()
+        a = wal.append("insert", 0, np.zeros(4, dtype=np.float32))
+        b = wal.append("delete", 0)
+        assert (a.sequence, b.sequence) == (0, 1)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(EngineError):
+            WriteAheadLog().append("update", 0)
+
+    def test_entry_bytes_accounts_vector_and_payload(self):
+        wal = WriteAheadLog()
+        bare = wal.append("delete", 0).entry_bytes()
+        rich = wal.append("insert", 1, np.zeros(16, dtype=np.float32),
+                          {"a": 1}).entry_bytes()
+        assert rich > bare + 64
+
+    def test_checkpoint_truncates(self):
+        wal = WriteAheadLog()
+        wal.append("insert", 0, np.zeros(2, dtype=np.float32))
+        wal.checkpoint()
+        assert len(wal) == 0
+        assert wal.checkpointed_through == 0
+        assert wal.pending() == []
+
+    def test_save_load_roundtrip(self, tmp_path):
+        wal = WriteAheadLog()
+        wal.append("insert", 0, np.ones(3, dtype=np.float32), {"k": "v"})
+        wal.save(tmp_path / "wal.bin")
+        loaded = WriteAheadLog.load(tmp_path / "wal.bin")
+        assert len(loaded) == 1
+        assert loaded.entries[0].payload == {"k": "v"}
+        # Sequences continue after recovery.
+        assert loaded.append("delete", 0).sequence == 1
+
+
+class TestSegmentPlanning:
+    def test_monolithic(self):
+        assert plan_segments(100, 3072, None) == [(0, 100)]
+
+    def test_split_by_capacity(self):
+        ranges = plan_segments(100, 3072, 10 * 3072)
+        assert ranges[0] == (0, 10)
+        assert len(ranges) == 10
+        assert ranges[-1] == (90, 100)
+
+    def test_covers_all_rows_without_overlap(self):
+        ranges = plan_segments(97, 1000, 7000)
+        covered = [i for start, stop in ranges for i in range(start, stop)]
+        assert covered == list(range(97))
+
+    def test_zero_rows_raises(self):
+        with pytest.raises(EngineError):
+            plan_segments(0, 100, None)
+
+
+class TestGrowingBuffer:
+    def test_append_and_search(self):
+        buf = GrowingBuffer(4, "l2")
+        buf.append(7, np.zeros(4, dtype=np.float32))
+        buf.append(8, np.ones(4, dtype=np.float32))
+        result = buf.search(np.zeros(4, dtype=np.float32), 1)
+        assert result.ids.tolist() == [7]
+
+    def test_wrong_shape_raises(self):
+        buf = GrowingBuffer(4, "l2")
+        with pytest.raises(EngineError):
+            buf.append(0, np.zeros(5, dtype=np.float32))
+
+    def test_drain_empties(self):
+        buf = GrowingBuffer(2, "l2")
+        buf.append(0, np.zeros(2, dtype=np.float32))
+        ids, vectors = buf.drain()
+        assert ids.tolist() == [0]
+        assert len(buf) == 0
+        with pytest.raises(EngineError):
+            buf.drain()
+
+
+class TestCostModel:
+    def test_full_evals_price_by_nominal_dim(self):
+        narrow = CostModel(storage_dim=768)
+        wide = CostModel(storage_dim=1536)
+        step = CpuStep(full_evals=100)
+        assert wide.cpu_step_seconds(step) == pytest.approx(
+            2 * narrow.cpu_step_seconds(step))
+
+    def test_pq_cheaper_than_full(self):
+        cost = CostModel(storage_dim=768)
+        assert (cost.cpu_step_seconds(CpuStep(pq_evals=100))
+                < cost.cpu_step_seconds(CpuStep(full_evals=100)))
+
+    def test_cpu_factor_scales_everything(self):
+        base = CostModel(storage_dim=768)
+        slow = CostModel(storage_dim=768, cpu_factor=3.0)
+        step = CpuStep(full_evals=10, pq_evals=5, table_builds=1)
+        assert slow.cpu_step_seconds(step) == pytest.approx(
+            3 * base.cpu_step_seconds(step))
+
+    def test_io_step_cpu_counts_submissions(self):
+        cost = CostModel(storage_dim=768)
+        one = cost.io_step_cpu_seconds(IoStep(((0, 4096),)))
+        four = cost.io_step_cpu_seconds(
+            IoStep(tuple((i * 4096, 4096) for i in range(4))))
+        assert four > one
+
+    def test_profile_totals(self):
+        cost = CostModel(storage_dim=768)
+        work = WorkProfile()
+        work.add_cpu(full_evals=10)
+        work.add_io([(0, 4096)])
+        work.add_cpu(pq_evals=5)
+        total = cost.profile_cpu_seconds(work)
+        assert total > 0
+        assert total == pytest.approx(
+            sum(cost.cpu_step_seconds(s) if isinstance(s, CpuStep)
+                else cost.io_step_cpu_seconds(s) for s in work.steps))
+
+    def test_invalid_model_raises(self):
+        with pytest.raises(EngineError):
+            CostModel(storage_dim=0)

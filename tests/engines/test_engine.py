@@ -1,0 +1,259 @@
+"""Functional tests for the vector-database engine."""
+
+import numpy as np
+import pytest
+
+from repro.engines import (Filter, IndexSpec, VectorEngine, get_profile)
+from repro.errors import (CollectionNotFoundError, EngineError,
+                          OutOfMemoryError)
+
+
+@pytest.fixture
+def engine():
+    return VectorEngine("milvus")
+
+
+@pytest.fixture
+def loaded(engine, small_data):
+    engine.create_collection("docs", small_data.shape[1],
+                             IndexSpec.of("hnsw", M=8, ef_construction=40),
+                             storage_dim=768)
+    engine.insert("docs", small_data,
+                  payloads=[{"group": int(i % 5), "rank": int(i)}
+                            for i in range(len(small_data))])
+    engine.flush("docs")
+    return engine
+
+
+class TestCollectionLifecycle:
+    def test_create_and_list(self, engine):
+        engine.create_collection("a", 8, IndexSpec.of("flat"))
+        engine.create_collection("b", 8, IndexSpec.of("flat"))
+        assert engine.list_collections() == ["a", "b"]
+
+    def test_duplicate_name_raises(self, engine):
+        engine.create_collection("a", 8, IndexSpec.of("flat"))
+        with pytest.raises(EngineError):
+            engine.create_collection("a", 8, IndexSpec.of("flat"))
+
+    def test_drop(self, engine):
+        engine.create_collection("a", 8, IndexSpec.of("flat"))
+        engine.drop_collection("a")
+        assert engine.list_collections() == []
+        with pytest.raises(CollectionNotFoundError):
+            engine.collection("a")
+
+    def test_unsupported_index_rejected(self):
+        qdrant = VectorEngine("qdrant")
+        with pytest.raises(EngineError):
+            qdrant.create_collection("a", 8, IndexSpec.of("diskann"))
+
+    def test_unknown_index_kind_rejected(self):
+        with pytest.raises(EngineError):
+            IndexSpec.of("btree")
+
+    def test_bad_dim_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.create_collection("a", 0, IndexSpec.of("flat"))
+
+
+class TestInsertSearch:
+    def test_search_finds_inserted_vector(self, loaded, small_data):
+        response = loaded.search("docs", small_data[17], 5, ef_search=40)
+        assert 17 in response.ids
+
+    def test_ids_are_sequential(self, engine, small_data):
+        engine.create_collection("docs", small_data.shape[1],
+                                 IndexSpec.of("flat"))
+        ids = engine.insert("docs", small_data[:10])
+        assert ids.tolist() == list(range(10))
+
+    def test_dimension_mismatch_raises(self, loaded):
+        with pytest.raises(EngineError):
+            loaded.insert("docs", np.zeros((1, 3), dtype=np.float32))
+
+    def test_payload_count_mismatch_raises(self, engine, small_data):
+        engine.create_collection("docs", small_data.shape[1],
+                                 IndexSpec.of("flat"))
+        with pytest.raises(EngineError):
+            engine.insert("docs", small_data[:3], payloads=[{"a": 1}])
+
+    def test_unflushed_rows_are_searchable(self, engine, small_data):
+        engine.create_collection("docs", small_data.shape[1],
+                                 IndexSpec.of("hnsw", M=8,
+                                              ef_construction=40))
+        engine.insert("docs", small_data[:50])
+        response = engine.search("docs", small_data[3], 3, ef_search=16)
+        assert 3 in response.ids  # served from the growing buffer
+
+    def test_search_merges_sealed_and_growing(self, loaded, small_data):
+        extra = small_data[:1] * -1.0
+        new_id = int(loaded.insert("docs", extra)[0])
+        response = loaded.search("docs", extra[0], 3, ef_search=40)
+        assert response.ids[0] == new_id
+
+    def test_bad_k_raises(self, loaded, small_data):
+        with pytest.raises(EngineError):
+            loaded.search("docs", small_data[0], 0)
+
+    def test_response_sorted_by_distance(self, loaded, small_data):
+        response = loaded.search("docs", small_data[0], 10, ef_search=40)
+        assert np.all(np.diff(response.dists) >= -1e-6)
+
+
+class TestDelete:
+    def test_deleted_rows_disappear_from_results(self, loaded, small_data):
+        target = loaded.search("docs", small_data[17], 1,
+                               ef_search=40).ids[0]
+        assert loaded.delete("docs", [int(target)]) == 1
+        response = loaded.search("docs", small_data[17], 5, ef_search=40)
+        assert target not in response.ids
+
+    def test_double_delete_counts_once(self, loaded):
+        assert loaded.delete("docs", [3]) == 1
+        assert loaded.delete("docs", [3]) == 0
+
+    def test_delete_unknown_id_is_noop(self, loaded):
+        assert loaded.delete("docs", [10 ** 9]) == 0
+
+    def test_num_rows_tracks_deletes(self, loaded, small_data):
+        before = loaded.collection("docs").num_rows
+        loaded.delete("docs", [0, 1, 2])
+        assert loaded.collection("docs").num_rows == before - 3
+
+
+class TestFilteredSearch:
+    def test_equality_filter(self, loaded, small_data):
+        response = loaded.search("docs", small_data[0], 8,
+                                 filter_=Filter.where(group=2),
+                                 ef_search=40)
+        assert len(response.ids) == 8
+        store = loaded.collection("docs").payloads
+        assert all(store.get(int(i))["group"] == 2 for i in response.ids)
+
+    def test_range_filter(self, loaded, small_data):
+        response = loaded.search("docs", small_data[0], 5,
+                                 filter_=Filter.range("rank", high=49),
+                                 ef_search=40)
+        assert all(int(i) < 50 for i in response.ids)
+
+    def test_conjunction(self, loaded, small_data):
+        f = Filter.where(group=1).and_(Filter.range("rank", high=100))
+        response = loaded.search("docs", small_data[0], 3, filter_=f,
+                                 ef_search=40)
+        store = loaded.collection("docs").payloads
+        for row_id in response.ids:
+            payload = store.get(int(row_id))
+            assert payload["group"] == 1 and payload["rank"] <= 100
+
+    def test_impossible_filter_returns_empty(self, loaded, small_data):
+        response = loaded.search("docs", small_data[0], 5,
+                                 filter_=Filter.where(group=99),
+                                 ef_search=40)
+        assert len(response.ids) == 0
+
+
+class TestSegmentation:
+    def test_milvus_splits_into_segments(self, small_data):
+        engine = VectorEngine("milvus")
+        engine.create_collection("docs", small_data.shape[1],
+                                 IndexSpec.of("hnsw", M=8,
+                                              ef_construction=40),
+                                 storage_dim=768)
+        engine.insert("docs", small_data)
+        engine.flush("docs")
+        # 500 rows x 3072 B nominal = ~1.5 MiB; 12 MiB segments -> 1.
+        assert len(engine.collection("docs").segments) >= 1
+
+    def test_weaviate_is_monolithic(self, small_data):
+        engine = VectorEngine("weaviate")
+        engine.create_collection("docs", small_data.shape[1],
+                                 IndexSpec.of("hnsw", M=8,
+                                              ef_construction=40),
+                                 storage_dim=768 * 40)
+        engine.insert("docs", small_data)
+        engine.flush("docs")
+        assert len(engine.collection("docs").segments) == 1
+
+    def test_segment_split_by_nominal_bytes(self, small_data):
+        profile = get_profile("milvus")
+        engine = VectorEngine(profile)
+        # Inflate nominal dim so 500 rows greatly exceed one segment.
+        engine.create_collection("docs", small_data.shape[1],
+                                 IndexSpec.of("hnsw", M=8,
+                                              ef_construction=40),
+                                 storage_dim=768 * 100)
+        engine.insert("docs", small_data)
+        engine.flush("docs")
+        segments = engine.collection("docs").segments
+        assert len(segments) > 1
+        assert sum(s.n for s in segments) == len(small_data)
+
+    def test_multiple_flushes_accumulate_segments(self, small_data):
+        engine = VectorEngine("weaviate")
+        engine.create_collection("docs", small_data.shape[1],
+                                 IndexSpec.of("hnsw", M=8,
+                                              ef_construction=40))
+        engine.insert("docs", small_data[:100])
+        engine.flush("docs")
+        engine.insert("docs", small_data[100:200])
+        engine.flush("docs")
+        assert len(engine.collection("docs").segments) == 2
+        response = engine.search("docs", small_data[150], 3, ef_search=40)
+        assert 150 in response.ids
+
+    def test_diskann_reseals_monolithically(self, small_data):
+        engine = VectorEngine("milvus")
+        engine.create_collection("docs", small_data.shape[1],
+                                 IndexSpec.of("diskann", R=8, L_build=16),
+                                 storage_dim=768)
+        engine.insert("docs", small_data[:100])
+        engine.flush("docs")
+        engine.insert("docs", small_data[100:200])
+        engine.flush("docs")
+        assert len(engine.collection("docs").segments) == 1
+        response = engine.search("docs", small_data[150], 5,
+                                 search_list=20)
+        assert 150 in response.ids
+
+    def test_flush_empty_buffer_is_noop(self, loaded):
+        assert loaded.flush("docs") == []
+
+
+class TestWalIntegration:
+    def test_mutations_logged_then_checkpointed(self, engine, small_data):
+        engine.create_collection("docs", small_data.shape[1],
+                                 IndexSpec.of("flat"))
+        engine.insert("docs", small_data[:10])
+        engine.delete("docs", [0])
+        wal = engine.collection("docs").wal
+        assert len(wal) == 11
+        engine.flush("docs")
+        assert len(wal) == 0  # checkpoint truncates
+
+
+class TestMemoryBudget:
+    def test_lancedb_oom_at_high_concurrency(self, small_data):
+        lance = VectorEngine("lancedb")
+        lance.create_collection("docs", small_data.shape[1],
+                                IndexSpec.of("hnsw-sq", M=8,
+                                             ef_construction=40))
+        lance.insert("docs", small_data)
+        lance.flush("docs")
+        lance.check_concurrency_memory(64)  # fits
+        with pytest.raises(OutOfMemoryError):
+            lance.check_concurrency_memory(256)  # the paper's OOM
+
+    def test_server_engines_fit_256(self, loaded):
+        loaded.check_concurrency_memory(256)
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, loaded, small_data, tmp_path):
+        path = tmp_path / "engine.db"
+        loaded.save(path)
+        recovered = VectorEngine.load(path)
+        a = loaded.search("docs", small_data[0], 5, ef_search=40)
+        b = recovered.search("docs", small_data[0], 5, ef_search=40)
+        assert np.array_equal(a.ids, b.ids)
+        assert recovered.profile.name == "milvus"

@@ -1,0 +1,126 @@
+"""Engine tests covering every index kind through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.data.groundtruth import exact_knn, recall_at_k
+from repro.data.synthetic import make_queries, make_vectors
+from repro.data.spec import get_spec
+from repro.engines import IndexSpec, VectorEngine, get_profile
+from repro.errors import EngineError
+
+
+def build(engine_name, kind, data, **params):
+    import dataclasses
+    profile = get_profile(engine_name)
+    if kind in ("diskann", "spann") and kind not in (
+            profile.supported_indexes):
+        profile = dataclasses.replace(
+            profile, supported_indexes=profile.supported_indexes + (kind,))
+    engine = VectorEngine(profile)
+    engine.create_collection("c", data.shape[1],
+                             IndexSpec.of(kind, **params),
+                             storage_dim=768)
+    engine.insert("c", data)
+    engine.flush("c")
+    return engine
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_vectors(400, 24, n_clusters=10, seed=5, latent_dim=8)
+
+
+@pytest.fixture(scope="module")
+def queries(data):
+    rng = np.random.default_rng(6)
+    noise = rng.standard_normal((16, 24)).astype(np.float32) * 0.2
+    Q = data[rng.integers(0, len(data), 16)] + noise
+    return Q / np.linalg.norm(Q, axis=1, keepdims=True)
+
+
+@pytest.fixture(scope="module")
+def truth(data, queries):
+    return exact_knn(data, queries, 10, "cosine")
+
+
+KIND_PARAMS = {
+    "flat": ({}, {}),
+    "ivf": ({"nlist": 16}, {"nprobe": 8}),
+    "hnsw": ({"M": 8, "ef_construction": 40}, {"ef_search": 40}),
+    "hnsw-sq": ({"M": 8, "ef_construction": 40}, {"ef_search": 40}),
+    "hnsw-mmap": ({"M": 8, "ef_construction": 40,
+                   "cache_bytes": 1 << 24}, {"ef_search": 40}),
+    "diskann": ({"R": 8, "L_build": 24}, {"search_list": 24}),
+    "ivf-pq": ({"nlist": 16, "pq_m": 8}, {"nprobe": 12}),
+    "spann": ({"n_postings": 12}, {"nprobe": 6}),
+}
+
+ENGINE_FOR = {
+    "flat": "milvus", "ivf": "milvus", "hnsw": "milvus",
+    "hnsw-sq": "lancedb", "hnsw-mmap": "qdrant", "diskann": "milvus",
+    "ivf-pq": "lancedb", "spann": "milvus",
+}
+
+
+@pytest.mark.parametrize("kind", sorted(KIND_PARAMS))
+def test_every_index_kind_searches_through_the_engine(kind, data, queries,
+                                                      truth):
+    build_params, search_params = KIND_PARAMS[kind]
+    engine = build(ENGINE_FOR[kind], kind, data, **build_params)
+    found = [engine.search("c", q, 10, **search_params).ids
+             for q in queries]
+    recall = recall_at_k(truth, found, 10)
+    floor = 0.5 if kind == "ivf-pq" else 0.8  # PQ-only scan is lossy
+    assert recall >= floor, (kind, recall)
+
+
+@pytest.mark.parametrize("kind", ["diskann", "spann", "ivf-pq"])
+def test_storage_kinds_report_disk_footprint(kind, data):
+    build_params, _ = KIND_PARAMS[kind]
+    engine = build(ENGINE_FOR[kind], kind, data, **build_params)
+    segment = engine.collection("c").segments[0]
+    assert segment.index.storage_based
+    assert segment.index.disk_bytes() > 0
+
+
+@pytest.mark.parametrize("kind", ["flat", "hnsw", "hnsw-sq"])
+def test_memory_kinds_have_no_disk_footprint(kind, data):
+    build_params, _ = KIND_PARAMS[kind]
+    engine = build(ENGINE_FOR[kind], kind, data, **build_params)
+    assert engine.collection("c").disk_bytes() == 0
+
+
+def test_delete_then_search_works_for_storage_kind(data, queries):
+    engine = build("milvus", "diskann", data, R=8, L_build=24)
+    first = engine.search("c", queries[0], 3, search_list=24).ids
+    engine.delete("c", [int(first[0])])
+    after = engine.search("c", queries[0], 3, search_list=24).ids
+    assert int(first[0]) not in after
+
+
+def test_ood_queries_are_harder(data):
+    """OOD-DiskANN's regime: out-of-distribution queries lose recall at
+    the same search budget."""
+    spec = get_spec("openai-500k")
+    from repro.data import load_dataset
+    dataset = load_dataset("openai-500k")
+    ood = make_queries(spec, dataset.vectors, n_queries=64, mode="ood")
+    in_dist = dataset.queries[:64]
+    engine = build("milvus", "hnsw", dataset.vectors, M=8,
+                   ef_construction=40)
+    gt_in = exact_knn(dataset.vectors, in_dist, 10, "cosine")
+    gt_ood = exact_knn(dataset.vectors, ood, 10, "cosine")
+    r_in = recall_at_k(gt_in, [engine.search("c", q, 10, ef_search=10).ids
+                               for q in in_dist], 10)
+    r_ood = recall_at_k(gt_ood, [engine.search("c", q, 10,
+                                               ef_search=10).ids
+                                 for q in ood], 10)
+    assert r_ood < r_in
+
+
+def test_unknown_query_mode_raises(data):
+    spec = get_spec("openai-500k")
+    from repro.errors import DatasetError
+    with pytest.raises(DatasetError):
+        make_queries(spec, data, mode="adversarial")

@@ -1,0 +1,92 @@
+"""Stress and determinism tests for the simulation kernel."""
+
+import numpy as np
+
+from repro.simkernel import Environment, Resource
+
+
+def workload_trace(seed: int, n_procs: int = 50) -> list[tuple]:
+    """Run a randomized fork/join workload; return its event trace."""
+    rng = np.random.default_rng(seed)
+    delays = rng.uniform(0.001, 0.1, size=(n_procs, 4))
+    env = Environment()
+    cores = Resource(env, 4)
+    trace: list[tuple] = []
+
+    def worker(worker_id: int):
+        for step, delay in enumerate(delays[worker_id]):
+            yield cores.request()
+            yield env.timeout(float(delay))
+            cores.release()
+            trace.append((round(env.now, 9), worker_id, step))
+
+    def spawner(env):
+        for worker_id in range(n_procs):
+            env.process(worker(worker_id))
+            yield env.timeout(0.0005)
+
+    env.process(spawner(env))
+    env.run()
+    return trace
+
+
+def test_trace_is_deterministic():
+    assert workload_trace(7) == workload_trace(7)
+
+
+def test_different_seeds_differ():
+    assert workload_trace(7) != workload_trace(8)
+
+
+def test_all_work_completes():
+    trace = workload_trace(3, n_procs=30)
+    assert len(trace) == 30 * 4
+
+
+def test_timestamps_monotone():
+    trace = workload_trace(5)
+    times = [entry[0] for entry in trace]
+    assert times == sorted(times)
+
+
+def test_many_processes_scale():
+    """10k timeout events process without recursion or blowup."""
+    env = Environment()
+    done = []
+
+    def sleeper(env, delay):
+        yield env.timeout(delay)
+        done.append(delay)
+
+    for i in range(10_000):
+        env.process(sleeper(env, (i % 97) * 1e-4))
+    env.run()
+    assert len(done) == 10_000
+
+
+def test_fork_join_tree():
+    """A three-level fork/join tree joins at the max leaf time."""
+    env = Environment()
+    result = {}
+
+    def leaf(env, delay):
+        yield env.timeout(delay)
+        return delay
+
+    def branch(env, base):
+        values = yield env.all_of([
+            env.process(leaf(env, base + 0.1)),
+            env.process(leaf(env, base + 0.2))])
+        return max(values)
+
+    def root(env):
+        values = yield env.all_of([
+            env.process(branch(env, 0.0)),
+            env.process(branch(env, 1.0))])
+        result["at"] = env.now
+        result["values"] = values
+
+    env.process(root(env))
+    env.run()
+    assert result["at"] == 1.2
+    assert result["values"] == [0.2, 1.2]

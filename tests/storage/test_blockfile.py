@@ -1,0 +1,100 @@
+"""Unit tests for extent allocation and block files."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.simkernel import Environment
+from repro.storage import (BlockFile, BlockTracer, ExtentAllocator, SimSSD,
+                           align_up, samsung_990pro_4tb)
+
+
+def test_align_up():
+    assert align_up(1, 4096) == 4096
+    assert align_up(4096, 4096) == 4096
+    assert align_up(4097, 4096) == 8192
+    assert align_up(0, 4096) == 0
+
+
+class TestExtentAllocator:
+    def test_allocations_are_aligned_and_disjoint(self):
+        alloc = ExtentAllocator(1 << 20)
+        a = alloc.allocate(5000)
+        b = alloc.allocate(100)
+        assert a % 4096 == 0 and b % 4096 == 0
+        assert b >= a + 8192  # 5000 rounds to two pages
+
+    def test_free_and_reuse(self):
+        alloc = ExtentAllocator(1 << 20)
+        a = alloc.allocate(4096)
+        alloc.free(a, 4096)
+        assert alloc.allocate(4096) == a
+
+    def test_free_merges_neighbours(self):
+        alloc = ExtentAllocator(1 << 20)
+        a = alloc.allocate(4096)
+        b = alloc.allocate(4096)
+        total = alloc.free_bytes()
+        alloc.free(a, 4096)
+        alloc.free(b, 4096)
+        assert alloc.free_bytes() == total + 8192
+        # A merged region can satisfy one larger allocation at offset a.
+        assert alloc.allocate(8192) == a
+
+    def test_exhaustion_raises(self):
+        alloc = ExtentAllocator(8192)
+        alloc.allocate(8192)
+        with pytest.raises(StorageError):
+            alloc.allocate(4096)
+
+    def test_double_free_detected(self):
+        alloc = ExtentAllocator(1 << 20)
+        a = alloc.allocate(4096)
+        alloc.free(a, 4096)
+        with pytest.raises(StorageError):
+            alloc.free(a, 4096)
+
+    def test_bad_allocation_size_raises(self):
+        with pytest.raises(StorageError):
+            ExtentAllocator(1 << 20).allocate(0)
+
+
+class TestBlockFile:
+    def setup_method(self):
+        self.env = Environment()
+        self.tracer = BlockTracer()
+        self.device = SimSSD(self.env, samsung_990pro_4tb(), self.tracer)
+        self.alloc = ExtentAllocator(1 << 30)
+
+    def test_reads_translate_to_device_offsets(self):
+        BlockFile("pad", self.device, self.alloc, 10 * 4096)
+        f = BlockFile("index", self.device, self.alloc, 4 * 4096)
+
+        def proc(env):
+            yield f.read(4096, 4096)
+
+        self.env.process(proc(self.env))
+        self.env.run()
+        record = self.tracer.records[0]
+        assert record.offset == f.offset + 4096
+        assert f.device_offset(4096) == f.offset + 4096
+
+    def test_out_of_bounds_read_raises(self):
+        f = BlockFile("index", self.device, self.alloc, 4096)
+        with pytest.raises(StorageError):
+            f.read(0, 8192)
+
+    def test_close_releases_extent(self):
+        before = self.alloc.free_bytes()
+        f = BlockFile("tmp", self.device, self.alloc, 4096)
+        f.close()
+        assert self.alloc.free_bytes() == before
+
+    def test_write_is_traced_as_write(self):
+        f = BlockFile("wal", self.device, self.alloc, 4096)
+
+        def proc(env):
+            yield f.write(0, 4096)
+
+        self.env.process(proc(self.env))
+        self.env.run()
+        assert self.tracer.records[0].op == "W"

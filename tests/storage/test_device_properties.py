@@ -1,0 +1,78 @@
+"""Property-based tests for the simulated device's service model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import Environment
+from repro.storage import SimSSD, samsung_990pro_4tb
+
+
+def run_batch(sizes, op="R"):
+    env = Environment()
+    device = SimSSD(env, samsung_990pro_4tb())
+    done = {}
+
+    def proc(env):
+        requests = [(i * 131072, size) for i, size in enumerate(sizes)]
+        yield device.submit(requests, op)
+        done["at"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    return device, done["at"]
+
+
+@given(sizes=st.lists(st.sampled_from([4096, 8192, 65536, 131072]),
+                      min_size=1, max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_batch_completion_bounds(sizes):
+    """Batch completion lies between the slowest single request and the
+    fully serialized sum."""
+    spec = samsung_990pro_4tb()
+    device, elapsed = run_batch(sizes)
+    slowest = max(spec.read_occupancy(s) for s in sizes)
+    serial = sum(spec.read_occupancy(s) for s in sizes)
+    assert elapsed >= slowest + spec.read_access_s - 1e-12
+    assert elapsed <= serial + spec.read_access_s + 1e-9
+
+
+@given(sizes=st.lists(st.sampled_from([4096, 16384, 131072]),
+                      min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_byte_accounting_is_exact(sizes):
+    device, _ = run_batch(sizes)
+    assert device.bytes_read == sum(sizes)
+    assert device.reads_issued == len(sizes)
+    assert device.bytes_written == 0
+
+
+@given(n=st.integers(1, 64))
+@settings(max_examples=30, deadline=None)
+def test_parallelism_caps_at_channel_count(n):
+    """n identical 4 KiB reads: elapsed time steps with ceil(n/channels)."""
+    spec = samsung_990pro_4tb()
+    _device, elapsed = run_batch([4096] * n)
+    waves = -(-n // spec.channels)
+    expected = waves * spec.read_occupancy(4096) + spec.read_access_s
+    assert abs(elapsed - expected) < 1e-9
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_deterministic_replay(seed):
+    """Identical request sequences complete at identical times."""
+    rng = np.random.default_rng(seed)
+    sizes = rng.choice([4096, 8192, 131072], size=10).tolist()
+    _d1, t1 = run_batch(sizes)
+    _d2, t2 = run_batch(sizes)
+    assert t1 == t2
+
+
+@given(sizes=st.lists(st.sampled_from([4096, 131072]), min_size=2,
+                      max_size=20))
+@settings(max_examples=30, deadline=None)
+def test_utilization_between_zero_and_one(sizes):
+    device, elapsed = run_batch(sizes)
+    utilization = device.utilization(elapsed)
+    assert 0.0 < utilization <= 1.0 + 1e-9

@@ -1,0 +1,88 @@
+"""Calibration tests: the simulated 990 Pro must reproduce the paper's
+raw fio measurements (Section III-A) within tolerance."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.storage import (FioJobSpec, GiB, KiB, run_fio, samsung_990pro_4tb,
+                           samsung_sata_1tb)
+
+
+@pytest.fixture(scope="module")
+def nvme_spec():
+    return samsung_990pro_4tb()
+
+
+def test_single_core_randread_is_cpu_bound_at_324_kiops(nvme_spec):
+    """Paper: 324.3 KIOPS with 4 KiB requests on a single CPU core."""
+    result = run_fio(nvme_spec, FioJobSpec(
+        pattern="randread", block_size=4 * KiB, numjobs=1, iodepth=128,
+        cpu_cores=1, runtime_s=0.2))
+    assert result.iops == pytest.approx(324_300, rel=0.08)
+
+
+def test_deep_queue_randread_reaches_1_3_miops(nvme_spec):
+    """Paper: 1.3 MIOPS with 64 concurrent 4 KiB requests on 4 cores."""
+    result = run_fio(nvme_spec, FioJobSpec(
+        pattern="randread", block_size=4 * KiB, numjobs=4, iodepth=32,
+        cpu_cores=4, runtime_s=0.2))
+    assert result.iops == pytest.approx(1_300_000, rel=0.10)
+
+
+def test_sequential_128k_reaches_7_2_gib_s(nvme_spec):
+    """Paper: 7.2 GiB/s with 128 KiB sequential reads, 32 threads."""
+    result = run_fio(nvme_spec, FioJobSpec(
+        pattern="seqread", block_size=128 * KiB, numjobs=32, iodepth=4,
+        cpu_cores=8, runtime_s=0.2, span_bytes=32 * GiB))
+    assert result.bandwidth_bytes == pytest.approx(7.2 * GiB, rel=0.08)
+
+
+def test_qd1_latency_under_100us(nvme_spec):
+    """Paper Section I: 'less than 100 us latency' NVMe reads."""
+    result = run_fio(nvme_spec, FioJobSpec(
+        pattern="randread", block_size=4 * KiB, numjobs=1, iodepth=1,
+        cpu_cores=1, runtime_s=0.05))
+    assert result.mean_latency_s < 100e-6
+    assert result.p99_latency_s < 150e-6
+
+
+def test_randwrite_runs_and_is_slower_than_read(nvme_spec):
+    # Device-bound configuration: the read ceiling is 1.3 MIOPS, the
+    # write ceiling (16 us channel occupancy) is 1.0 MIOPS.
+    read = run_fio(nvme_spec, FioJobSpec(
+        pattern="randread", numjobs=4, iodepth=32, cpu_cores=8,
+        runtime_s=0.1))
+    write = run_fio(nvme_spec, FioJobSpec(
+        pattern="randwrite", numjobs=4, iodepth=32, cpu_cores=8,
+        runtime_s=0.1))
+    assert write.iops < read.iops
+
+
+def test_sata_bandwidth_is_an_order_of_magnitude_lower(nvme_spec):
+    nvme = run_fio(nvme_spec, FioJobSpec(
+        pattern="seqread", block_size=128 * KiB, numjobs=32, iodepth=4,
+        cpu_cores=8, runtime_s=0.1, span_bytes=32 * GiB))
+    sata = run_fio(samsung_sata_1tb(), FioJobSpec(
+        pattern="seqread", block_size=128 * KiB, numjobs=32, iodepth=4,
+        cpu_cores=8, runtime_s=0.1, span_bytes=32 * GiB))
+    assert nvme.bandwidth_bytes > 10 * sata.bandwidth_bytes
+
+
+def test_iops_scale_with_iodepth(nvme_spec):
+    shallow = run_fio(nvme_spec, FioJobSpec(
+        pattern="randread", numjobs=1, iodepth=1, cpu_cores=1,
+        runtime_s=0.05))
+    deep = run_fio(nvme_spec, FioJobSpec(
+        pattern="randread", numjobs=1, iodepth=16, cpu_cores=1,
+        runtime_s=0.05))
+    assert deep.iops > 5 * shallow.iops
+
+
+def test_invalid_pattern_rejected():
+    with pytest.raises(WorkloadError):
+        FioJobSpec(pattern="mixed")
+
+
+def test_zero_jobs_rejected():
+    with pytest.raises(WorkloadError):
+        FioJobSpec(numjobs=0)

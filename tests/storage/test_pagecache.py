@@ -1,0 +1,117 @@
+"""Unit tests for the LRU page cache and the buffered read path."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.simkernel import Environment
+from repro.storage import (BlockTracer, CachedBlockReader, PageCache, SimSSD,
+                           merge_pages, samsung_990pro_4tb)
+
+
+def test_miss_then_hit():
+    cache = PageCache(capacity_bytes=8 * 4096)
+    assert cache.access(7) is False
+    assert cache.access(7) is True
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_lru_eviction_order():
+    cache = PageCache(capacity_bytes=2 * 4096)
+    cache.insert(1)
+    cache.insert(2)
+    cache.access(1)       # 2 becomes the LRU victim
+    cache.insert(3)
+    assert 1 in cache
+    assert 2 not in cache
+    assert 3 in cache
+
+
+def test_capacity_zero_caches_nothing():
+    cache = PageCache(capacity_bytes=0)
+    cache.insert(1)
+    assert 1 not in cache
+    assert cache.access(1) is False
+
+
+def test_drop_empties_but_keeps_counters():
+    cache = PageCache(capacity_bytes=4 * 4096)
+    cache.access(1)
+    cache.drop()
+    assert len(cache) == 0
+    assert cache.misses == 1
+    assert cache.access(1) is False  # re-fetch after drop_caches
+
+
+def test_hit_rate():
+    cache = PageCache(capacity_bytes=4 * 4096)
+    assert cache.hit_rate() == 0.0
+    cache.access(1)
+    cache.access(1)
+    assert cache.hit_rate() == pytest.approx(0.5)
+
+
+def test_negative_capacity_raises():
+    with pytest.raises(StorageError):
+        PageCache(capacity_bytes=-1)
+
+
+def test_merge_pages_coalesces_adjacent_runs():
+    assert merge_pages([0, 1, 2, 5, 6, 9], 4096, 128 * 1024) == [
+        (0, 3 * 4096), (5 * 4096, 2 * 4096), (9 * 4096, 4096)]
+
+
+def test_merge_pages_respects_block_layer_cap():
+    pages = list(range(40))  # 160 KiB contiguous
+    requests = merge_pages(pages, 4096, 128 * 1024)
+    assert requests == [(0, 128 * 1024), (32 * 4096, 8 * 4096)]
+
+
+def test_merge_pages_empty():
+    assert merge_pages([], 4096, 128 * 1024) == []
+
+
+class TestCachedBlockReader:
+    def setup_method(self):
+        self.env = Environment()
+        self.tracer = BlockTracer()
+        self.device = SimSSD(self.env, samsung_990pro_4tb(), self.tracer)
+        self.cache = PageCache(capacity_bytes=64 * 4096)
+        self.reader = CachedBlockReader(self.env, self.device, self.cache)
+
+    def _read(self, offset, size):
+        def proc(env):
+            yield self.reader.read(offset, size)
+        self.env.process(proc(self.env))
+        self.env.run()
+
+    def test_cold_read_hits_device(self):
+        self._read(0, 4096)
+        assert len(self.tracer) == 1
+
+    def test_warm_read_is_free(self):
+        self._read(0, 4096)
+        before = self.env.now
+        self._read(0, 4096)
+        assert len(self.tracer) == 1           # no new device request
+        assert self.env.now == before          # and no simulated time
+
+    def test_multi_page_read_merges_into_one_request(self):
+        self._read(0, 4 * 4096)
+        assert [(r.offset, r.size) for r in self.tracer.records] == [
+            (0, 4 * 4096)]
+
+    def test_partial_hit_fetches_only_missing_pages(self):
+        self._read(4096, 4096)                 # warm the middle page
+        self.tracer.clear()
+        self._read(0, 3 * 4096)                # pages 0,1,2; 1 is cached
+        assert sorted((r.offset, r.size) for r in self.tracer.records) == [
+            (0, 4096), (2 * 4096, 4096)]
+
+    def test_unaligned_read_touches_both_straddled_pages(self):
+        self._read(4000, 200)                  # straddles pages 0 and 1
+        assert self.tracer.records[0].size == 2 * 4096
+
+    def test_bad_read_raises(self):
+        with pytest.raises(StorageError):
+            self.reader.read(0, 0)

@@ -1,0 +1,87 @@
+"""Unit tests for block-trace analysis."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.storage.tracer import TraceRecord
+from repro.trace import (bandwidth_series, fraction_at_size,
+                         offset_reuse_stats, per_query_volume,
+                         request_size_histogram, total_bytes)
+
+
+def reads(*specs):
+    """specs: (timestamp, offset, size) read records."""
+    return [TraceRecord(ts, "R", off, size) for ts, off, size in specs]
+
+
+def test_bandwidth_series_buckets_bytes():
+    records = reads((0.1, 0, 4096), (0.2, 4096, 4096), (1.5, 0, 8192))
+    series = bandwidth_series(records, interval_s=1.0, end=2.0)
+    assert series.read_bytes.tolist() == [8192.0, 8192.0]
+    assert series.read_bandwidth.tolist() == [8192.0, 8192.0]
+
+
+def test_bandwidth_series_separates_writes():
+    records = reads((0.1, 0, 4096)) + [TraceRecord(0.2, "W", 0, 1024)]
+    series = bandwidth_series(records, interval_s=1.0, end=1.0)
+    assert series.read_bytes.tolist() == [4096.0]
+    assert series.write_bytes.tolist() == [1024.0]
+
+
+def test_bandwidth_series_empty():
+    series = bandwidth_series([], interval_s=1.0)
+    assert series.peak_read_bandwidth() == 0.0
+    assert series.mean_read_bandwidth() == 0.0
+
+
+def test_bandwidth_series_peak_and_mean():
+    records = reads((0.5, 0, 4096), (1.5, 0, 4096), (1.6, 0, 4096))
+    series = bandwidth_series(records, interval_s=1.0, end=2.0)
+    assert series.peak_read_bandwidth() == 8192.0
+    assert series.mean_read_bandwidth() == pytest.approx(6144.0)
+
+
+def test_bandwidth_series_bad_interval():
+    with pytest.raises(ReproError):
+        bandwidth_series([], interval_s=0.0)
+
+
+def test_request_size_histogram_filters_by_op():
+    records = reads((0, 0, 4096), (0, 0, 4096), (0, 0, 8192))
+    records.append(TraceRecord(0, "W", 0, 512))
+    assert request_size_histogram(records, "R") == {4096: 2, 8192: 1}
+    assert request_size_histogram(records, None) == {4096: 2, 8192: 1,
+                                                     512: 1}
+
+
+def test_fraction_at_size():
+    records = reads(*[(0, i, 4096) for i in range(99)], (0, 99, 8192))
+    assert fraction_at_size(records, 4096) == pytest.approx(0.99)
+
+
+def test_fraction_at_size_no_records_raises():
+    with pytest.raises(ReproError):
+        fraction_at_size([], 4096)
+
+
+def test_total_bytes_and_per_query_volume():
+    records = reads((0, 0, 4096), (0, 0, 4096))
+    assert total_bytes(records) == 8192
+    assert per_query_volume(records, 4) == 2048.0
+
+
+def test_per_query_volume_needs_queries():
+    with pytest.raises(ReproError):
+        per_query_volume(reads((0, 0, 4096)), 0)
+
+
+def test_offset_reuse_stats():
+    records = reads((0, 0, 4096), (1, 0, 4096), (2, 4096, 4096))
+    unique, mean = offset_reuse_stats(records)
+    assert unique == 2
+    assert mean == pytest.approx(1.5)
+
+
+def test_offset_reuse_stats_empty_raises():
+    with pytest.raises(ReproError):
+        offset_reuse_stats([])

@@ -1,0 +1,74 @@
+"""Tests for the hybrid read/write workload support."""
+
+import pytest
+
+from repro.engines import IndexSpec, VectorEngine
+from repro.errors import WorkloadError
+from repro.workload import BenchRunner, WriteLoad
+
+
+@pytest.fixture(scope="module")
+def runner(small_data, small_queries):
+    import dataclasses
+    from repro.engines import get_profile
+    profile = dataclasses.replace(get_profile("milvus"),
+                                  diskann_cache_bytes=0,
+                                  diskann_lru_bytes=0)
+    engine = VectorEngine(profile)
+    engine.create_collection("h", small_data.shape[1],
+                             IndexSpec.of("diskann", R=8, L_build=16),
+                             storage_dim=768)
+    engine.insert("h", small_data)
+    engine.flush("h")
+    return BenchRunner(engine, "h", small_queries)
+
+
+def test_write_load_validation():
+    with pytest.raises(WorkloadError):
+        WriteLoad(writers=0)
+    with pytest.raises(WorkloadError):
+        WriteLoad(bytes_per_flush=0)
+
+
+def test_writes_reach_the_device(runner):
+    result = runner.run(4, {"search_list": 16}, duration_s=0.5,
+                        write_load=WriteLoad(writers=2))
+    assert result.write_bytes > 0
+
+
+def test_no_writes_without_load(runner):
+    result = runner.run(4, {"search_list": 16}, duration_s=0.5)
+    assert result.write_bytes == 0
+
+
+def test_interference_raises_read_latency(runner):
+    quiet = runner.run(8, {"search_list": 16}, duration_s=0.5)
+    noisy = runner.run(8, {"search_list": 16}, duration_s=0.5,
+                       write_load=WriteLoad(writers=8,
+                                            bytes_per_flush=1 << 20,
+                                            interval_s=0.0005))
+    assert noisy.p99_latency_s > quiet.p99_latency_s
+    assert noisy.qps < quiet.qps
+
+
+def test_large_flushes_split_at_block_layer_cap(runner):
+    result = runner.run(1, {"search_list": 16}, duration_s=0.3,
+                        trace=True,
+                        write_load=WriteLoad(writers=1,
+                                             bytes_per_flush=1 << 20))
+    write_sizes = {r.size for r in result.tracer.records if r.op == "W"}
+    assert write_sizes  # some writes traced
+    assert max(write_sizes) <= runner.device_spec.max_request_bytes
+
+
+def test_write_offsets_stay_in_log_region(runner):
+    result = runner.run(1, {"search_list": 16}, duration_s=0.3,
+                        trace=True,
+                        write_load=WriteLoad(writers=1))
+    segment = runner.collection.segments[0]
+    base = runner._segment_bases[segment.segment_id]
+    size = segment.index.disk_bytes()
+    for record in result.tracer.records:
+        if record.op == "W":
+            # writes never land inside the index file
+            assert not (base <= record.offset < base + size)

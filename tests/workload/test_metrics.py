@@ -1,0 +1,79 @@
+"""Unit tests for metrics containers and aggregation."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.metrics import (RunResult, geometric_mean, percentile,
+                                    summarize)
+
+
+def make_result(qps=100.0, p99=0.01, read_bytes=0, completed=100,
+                elapsed=1.0, error=None):
+    return RunResult(
+        engine="milvus", index_kind="hnsw", dataset="d", concurrency=1,
+        completed=completed, elapsed_s=elapsed, qps=qps,
+        mean_latency_s=p99 / 2, p99_latency_s=p99, cpu_utilization=0.5,
+        device_utilization=0.0, read_bytes=read_bytes, write_bytes=0,
+        recall=0.9, error=error)
+
+
+def test_derived_bandwidth_and_volume():
+    result = make_result(read_bytes=1000, completed=10, elapsed=2.0)
+    assert result.read_bandwidth == 500.0
+    assert result.per_query_read_bytes == 100.0
+
+
+def test_zero_division_guards():
+    result = make_result(read_bytes=0, completed=0, elapsed=0.0)
+    assert result.read_bandwidth == 0.0
+    assert result.per_query_read_bytes == 0.0
+
+
+def test_failed_flag():
+    assert make_result(error="out-of-memory").failed
+    assert not make_result().failed
+
+
+def test_percentile_basic():
+    assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+
+def test_percentile_validation():
+    with pytest.raises(WorkloadError):
+        percentile([], 50)
+    with pytest.raises(WorkloadError):
+        percentile([1.0], 101)
+
+
+def test_summarize_means_and_stds():
+    summary = summarize([make_result(qps=100), make_result(qps=200)])
+    assert summary.qps == 150.0
+    assert summary.qps_std == 50.0
+    assert summary.recall == pytest.approx(0.9)
+
+
+def test_summarize_rejects_failures():
+    with pytest.raises(WorkloadError):
+        summarize([make_result(error="out-of-memory")])
+    with pytest.raises(WorkloadError):
+        summarize([])
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+
+def test_geometric_mean_rejects_nonpositive():
+    with pytest.raises(WorkloadError):
+        geometric_mean([1.0, 0.0])
+    with pytest.raises(WorkloadError):
+        geometric_mean([])
+
+
+def test_percentile_fields_default_to_nan():
+    result = make_result()
+    assert math.isnan(result.p50_latency_s)
+    assert math.isnan(result.p95_latency_s)

@@ -1,0 +1,176 @@
+"""Behavioural tests for the benchmark runner on the DES."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engines import IndexSpec, VectorEngine, get_profile
+from repro.errors import WorkloadError
+from repro.workload import BenchRunner
+
+
+def make_engine(small_data, engine_name="milvus", kind="hnsw",
+                storage_dim=768, **params):
+    if kind == "diskann":
+        # The 500-vector test graph fits entirely in Milvus's default
+        # static node cache; shrink the caches so reads reach the device.
+        profile = dataclasses.replace(get_profile(engine_name),
+                                      diskann_cache_bytes=0,
+                                      diskann_lru_bytes=0)
+        engine = VectorEngine(profile)
+    else:
+        engine = VectorEngine(engine_name)
+    if kind == "hnsw" and not params:
+        params = {"M": 8, "ef_construction": 40}
+    engine.create_collection("bench", small_data.shape[1],
+                             IndexSpec.of(kind, **params),
+                             storage_dim=storage_dim)
+    engine.insert("bench", small_data)
+    engine.flush("bench")
+    return engine
+
+
+@pytest.fixture(scope="module")
+def hnsw_runner(small_data, small_queries, small_truth):
+    engine = make_engine(small_data)
+    return BenchRunner(engine, "bench", small_queries,
+                       ground_truth=small_truth)
+
+
+@pytest.fixture(scope="module")
+def diskann_runner(small_data, small_queries, small_truth):
+    engine = make_engine(small_data, kind="diskann", R=8, L_build=16)
+    return BenchRunner(engine, "bench", small_queries,
+                       ground_truth=small_truth)
+
+
+class TestMemoryBasedRuns:
+    def test_reports_positive_metrics(self, hnsw_runner):
+        result = hnsw_runner.run(4, {"ef_search": 16}, duration_s=0.5)
+        assert result.qps > 0
+        assert result.p99_latency_s > 0
+        assert 0 < result.cpu_utilization <= 1.0
+        assert result.completed > 0
+        assert not result.failed
+
+    def test_no_io_for_memory_index(self, hnsw_runner):
+        result = hnsw_runner.run(2, {"ef_search": 16}, duration_s=0.5)
+        assert result.read_bytes == 0
+        assert result.device_utilization == 0.0
+
+    def test_recall_attached(self, hnsw_runner):
+        result = hnsw_runner.run(1, {"ef_search": 32}, duration_s=0.3)
+        assert result.recall is not None and result.recall > 0.8
+
+    def test_throughput_grows_with_concurrency(self, hnsw_runner):
+        one = hnsw_runner.run(1, {"ef_search": 16}, duration_s=0.5)
+        eight = hnsw_runner.run(8, {"ef_search": 16}, duration_s=0.5)
+        assert eight.qps > 3 * one.qps
+
+    def test_latency_grows_under_oversubscription(self, hnsw_runner):
+        light = hnsw_runner.run(1, {"ef_search": 16}, duration_s=0.5)
+        heavy = hnsw_runner.run(256, {"ef_search": 16}, duration_s=0.5)
+        assert heavy.p99_latency_s > light.p99_latency_s
+
+    def test_deterministic(self, hnsw_runner):
+        a = hnsw_runner.run(4, {"ef_search": 16}, duration_s=0.3)
+        b = hnsw_runner.run(4, {"ef_search": 16}, duration_s=0.3)
+        assert a.qps == b.qps
+        assert a.p99_latency_s == b.p99_latency_s
+
+    def test_phase_changes_interleaving_not_shape(self, hnsw_runner):
+        a = hnsw_runner.run(4, {"ef_search": 16}, duration_s=0.3, phase=0)
+        b = hnsw_runner.run(4, {"ef_search": 16}, duration_s=0.3, phase=7)
+        assert b.qps == pytest.approx(a.qps, rel=0.2)
+
+    def test_max_queries_caps_run(self, hnsw_runner):
+        result = hnsw_runner.run(4, {"ef_search": 16}, duration_s=10.0,
+                                 max_queries=100)
+        assert result.completed <= 100
+        assert result.elapsed_s < 10.0
+
+    def test_bad_concurrency_raises(self, hnsw_runner):
+        with pytest.raises(WorkloadError):
+            hnsw_runner.run(0, {})
+
+
+class TestStorageBasedRuns:
+    def test_diskann_reads_from_device(self, diskann_runner):
+        result = diskann_runner.run(2, {"search_list": 16},
+                                    duration_s=0.5)
+        assert result.read_bytes > 0
+        assert result.device_utilization > 0
+
+    def test_trace_collects_4k_records(self, diskann_runner):
+        result = diskann_runner.run(1, {"search_list": 16},
+                                    duration_s=0.3, trace=True)
+        assert result.tracer is not None and len(result.tracer) > 0
+        assert all(r.size == 4096 for r in result.tracer.records)
+        assert all(r.op == "R" for r in result.tracer.records)
+
+    def test_no_trace_by_default(self, diskann_runner):
+        result = diskann_runner.run(1, {"search_list": 16},
+                                    duration_s=0.3)
+        assert result.tracer is None
+
+    def test_diskann_slower_than_memory_hnsw(self, hnsw_runner,
+                                             diskann_runner):
+        memory = hnsw_runner.run(1, {"ef_search": 16}, duration_s=0.5)
+        storage = diskann_runner.run(1, {"search_list": 16},
+                                     duration_s=0.5)
+        assert storage.p99_latency_s > memory.p99_latency_s
+
+    def test_higher_search_list_more_io(self, diskann_runner):
+        small = diskann_runner.run(1, {"search_list": 10}, duration_s=0.5)
+        large = diskann_runner.run(1, {"search_list": 64}, duration_s=0.5)
+        assert large.per_query_read_bytes > small.per_query_read_bytes
+        assert large.qps < small.qps
+
+    def test_offsets_fall_inside_allocated_file(self, diskann_runner):
+        result = diskann_runner.run(1, {"search_list": 16},
+                                    duration_s=0.3, trace=True)
+        segment = diskann_runner.collection.segments[0]
+        base = diskann_runner._segment_bases[segment.segment_id]
+        size = segment.index.disk_bytes()
+        for record in result.tracer.records:
+            assert base <= record.offset < base + size
+
+
+class TestOomHandling:
+    def test_lancedb_oom_reported_not_raised(self, small_data,
+                                             small_queries):
+        engine = make_engine(small_data, engine_name="lancedb",
+                             kind="hnsw-sq", M=8, ef_construction=40)
+        runner = BenchRunner(engine, "bench", small_queries)
+        result = runner.run(256, {"ef_search": 16}, duration_s=0.2)
+        assert result.failed
+        assert result.error == "out-of-memory"
+        ok = runner.run(8, {"ef_search": 16}, duration_s=0.2)
+        assert not ok.failed
+
+
+class TestEngineOverheads:
+    def test_rpc_floor_on_latency(self, small_data, small_queries):
+        engine = make_engine(small_data)
+        runner = BenchRunner(engine, "bench", small_queries)
+        result = runner.run(1, {"ef_search": 4}, duration_s=0.3)
+        assert result.mean_latency_s >= engine.profile.rpc_s
+
+    def test_embedded_engine_has_no_rpc_floor(self, small_data,
+                                              small_queries):
+        lance = make_engine(small_data, engine_name="lancedb",
+                            kind="hnsw-sq", M=8, ef_construction=40)
+        runner = BenchRunner(lance, "bench", small_queries)
+        result = runner.run(1, {"ef_search": 4}, duration_s=0.3)
+        # All latency is CPU time; with one client it is mean service.
+        assert result.mean_latency_s > 0
+
+    def test_batching_amortizes_fixed_cost(self, small_data,
+                                           small_queries):
+        weaviate = make_engine(small_data, engine_name="weaviate")
+        runner = BenchRunner(weaviate, "bench", small_queries)
+        one = runner.run(1, {"ef_search": 16}, duration_s=0.5)
+        six = runner.run(6, {"ef_search": 16}, duration_s=0.5)
+        # Superlinear: 6 clients > 6x one client's throughput (O-4).
+        assert six.qps > 6 * one.qps

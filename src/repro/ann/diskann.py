@@ -88,6 +88,11 @@ class DiskANNIndex(VectorIndex):
 
     kind = "diskann"
     storage_based = True
+    # Class-level fallbacks: indexes unpickled from a pre-counter build
+    # cache never ran the current __init__.
+    static_hits = 0
+    lru_hits = 0
+    cache_misses = 0
 
     def __init__(self, metric: str = "l2", R: int = 32, L_build: int = 96,
                  alpha: float = 1.3, pq_m: int | None = None,
@@ -123,6 +128,9 @@ class DiskANNIndex(VectorIndex):
         self._lru: "collections.OrderedDict[int, None]" = (
             collections.OrderedDict())
         self._lru_capacity = 0
+        self.static_hits = 0
+        self.lru_hits = 0
+        self.cache_misses = 0
 
     # -- construction -----------------------------------------------------
 
@@ -233,10 +241,13 @@ class DiskANNIndex(VectorIndex):
                 visited.add(nid)
                 if nid in self._static_cache:
                     hits += 1
+                    self.static_hits += 1
                 elif self._lru_capacity and nid in self._lru:
                     self._lru.move_to_end(nid)
                     hits += 1
+                    self.lru_hits += 1
                 else:
+                    self.cache_misses += 1
                     for request in self.layout.node_requests(nid):
                         requests[request] = None
                     self._lru_insert(nid)
@@ -283,12 +294,31 @@ class DiskANNIndex(VectorIndex):
     # -- footprints --------------------------------------------------------
 
     def memory_bytes(self) -> int:
-        """Resident set: PQ codes + codebooks + node caches."""
+        """Resident set: PQ codes + codebooks + node caches.
+
+        The LRU term is its current *occupancy*, not its capacity —
+        right after :meth:`reset_dynamic_cache` the dynamic cache holds
+        nothing and charges nothing, which is what concurrency-OOM
+        modeling needs.  Capacity planners that budget for a fully
+        warmed cache should use :attr:`lru_capacity_bytes`.
+        """
         self._require_built()
         total = self.codes.nbytes + self.pq.codebooks.nbytes
         total += len(self._static_cache) * self.layout.node_bytes
-        total += self._lru_capacity * self.layout.node_bytes
+        total += len(self._lru) * self.layout.node_bytes
         return total
+
+    @property
+    def lru_capacity_bytes(self) -> int:
+        """Provisioned (budgeted) size of the LRU node cache."""
+        self._require_built()
+        return self._lru_capacity * self.layout.node_bytes
+
+    def cache_stats(self) -> dict[str, int]:
+        """Cumulative node-cache counters (telemetry snapshot)."""
+        return {"static_hits": self.static_hits,
+                "lru_hits": self.lru_hits,
+                "misses": self.cache_misses}
 
     def disk_bytes(self) -> int:
         self._require_built()

@@ -20,6 +20,7 @@ from repro.core import figures, report
 from repro.core.study import run_study
 from repro.core.tuning import tune_setup
 from repro.data.spec import DATASET_NAMES, current_scale
+from repro.obs import write_prometheus, write_spans_jsonl
 from repro.workload.setup import SETUPS, make_runner
 
 
@@ -100,6 +101,32 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    runner = figures.get_runner(args.setup, args.dataset)
+    params = figures.tuned_params(args.setup, args.dataset)
+    result = runner.run(args.threads, params, duration_s=args.duration,
+                        trace=True, telemetry=True)
+    if result.failed:
+        print(f"run failed: {result.error}", file=sys.stderr)
+        return 1
+    telemetry = result.telemetry
+    assert telemetry is not None
+    print(report.render_telemetry(telemetry))
+    span_bytes = telemetry.total_read_bytes
+    trace_bytes = result.tracer.total_bytes("R") if result.tracer else 0
+    print(f"\nreconciliation: spans {span_bytes} B == "
+          f"result {result.read_bytes} B == trace {trace_bytes} B: "
+          f"{span_bytes == result.read_bytes == trace_bytes}")
+    if args.jsonl:
+        write_spans_jsonl(telemetry.spans, args.jsonl)
+        print(f"wrote {len(telemetry.spans)} spans to {args.jsonl}",
+              file=sys.stderr)
+    if args.prom:
+        write_prometheus(telemetry, args.prom)
+        print(f"wrote prometheus metrics to {args.prom}", file=sys.stderr)
+    return 0
+
+
 def cmd_study(args: argparse.Namespace) -> int:
     results = run_study(datasets=args.datasets,
                         progress=lambda m: print(f"[study] {m}",
@@ -161,6 +188,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),
                    choices=DATASET_NAMES)
     p.set_defaults(fn=cmd_figure)
+
+    p = sub.add_parser(
+        "telemetry", help="one run with query-level telemetry + exports")
+    p.add_argument("-s", "--setup", required=True, choices=tuple(SETUPS))
+    p.add_argument("-d", "--dataset", required=True, choices=DATASET_NAMES)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--duration", type=float, default=1.0,
+                   help="simulated seconds to run (default 1.0)")
+    p.add_argument("--jsonl", default=None, metavar="PATH",
+                   help="write per-query spans as JSON lines")
+    p.add_argument("--prom", default=None, metavar="PATH",
+                   help="write Prometheus text-format metrics")
+    p.set_defaults(fn=cmd_telemetry)
 
     p = sub.add_parser("study", help="run the whole evaluation")
     p.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),

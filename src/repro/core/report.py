@@ -6,6 +6,9 @@ import typing as t
 
 from repro.core.observations import ObservationCheck
 from repro.core.study import StudyResults
+from repro.obs import RunTelemetry
+from repro.trace.analysis import (cold_warm_split, per_query_io_histogram,
+                                  stage_latency_breakdown)
 
 
 def format_table(headers: t.Sequence[str],
@@ -116,6 +119,69 @@ def render_fig6(fig6: dict) -> str:
                      _fmt(per_conc[256]["per_query_kib"], 1),
                      f"{per_conc[1]['fraction_4k']:.4f}"])
     return format_table(headers, rows)
+
+
+def _human_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}GiB"
+
+
+def render_telemetry(telemetry: RunTelemetry) -> str:
+    """Human-readable roll-up of one run's query-level telemetry.
+
+    Four blocks: per-stage latency decomposition, per-query I/O volume
+    distribution (the span-level Figure 6), cache counters, and
+    resource queue depths.
+    """
+    sections = []
+    spans = telemetry.spans
+    if spans:
+        stages = stage_latency_breakdown(spans)
+        rows = [[stage, f"{s['mean_s'] * 1e6:.1f}",
+                 f"{100 * s['share']:.1f}%"]
+                for stage, s in stages.items()]
+        sections.append("== Stage latency (per query)\n" + format_table(
+            ["stage", "mean us", "share"], rows))
+
+        hist = per_query_io_histogram(spans)
+        rows = []
+        running = 0
+        for edge, count in zip(hist.buckets, hist.counts):
+            running += count
+            if count:
+                rows.append([f"<= {_human_bytes(edge)}", count,
+                             f"{100 * running / hist.count:.1f}%"])
+        if hist.counts[-1]:
+            rows.append([f"> {_human_bytes(hist.buckets[-1])}",
+                         hist.counts[-1], "100.0%"])
+        sections.append(
+            "== Per-query device read volume (Figure 6, from spans)\n"
+            + format_table(["bucket", "queries", "cum"], rows)
+            + f"\nmean {_human_bytes(hist.mean)}/query over "
+            f"{hist.count} queries")
+
+        split = cold_warm_split(spans)
+        rows = [[label, int(entry["queries"]),
+                 f"{entry['mean_latency_s'] * 1e6:.1f}",
+                 _human_bytes(entry["mean_read_bytes"])]
+                for label, entry in split.items()]
+        sections.append("== Cold vs warm replays\n" + format_table(
+            ["replay", "queries", "mean us", "read/query"], rows))
+    if telemetry.counters:
+        rows = [[name, counter.value]
+                for name, counter in sorted(telemetry.counters.items())]
+        sections.append("== Counters\n" + format_table(
+            ["counter", "value"], rows))
+    if telemetry.queue_depth:
+        rows = [[resource, hist.count, f"{hist.mean:.2f}",
+                 f"{hist.quantile(0.99):.0f}"]
+                for resource, hist in sorted(telemetry.queue_depth.items())]
+        sections.append("== Queue depth at request arrival\n" + format_table(
+            ["resource", "samples", "mean", "p99"], rows))
+    return "\n\n".join(sections)
 
 
 def write_experiments_md(results: StudyResults, path: str) -> None:

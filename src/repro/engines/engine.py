@@ -242,14 +242,19 @@ class Collection:
             raise EngineError(f"k must be positive: {k}")
         need = k
         if filter_ is not None or self.tombstones:
-            need = min(self.num_rows, max(4 * k, k + len(self.tombstones)))
+            # Bound by the *stored* row count: tombstoned rows still come
+            # back from the indexes and crowd out survivors, so the live
+            # count (num_rows) is too small a ceiling — with heavy
+            # deletions it used to stop escalation while surviving rows
+            # remained unfetched.
+            need = min(self.total_rows, max(4 * k, k + len(self.tombstones)))
         response = self._gather(query, need, **params)
         keep = [i for i, row_id in enumerate(response.ids)
                 if row_id not in self.tombstones
                 and self.payloads.matches(int(row_id), filter_)]
-        if len(keep) < k and need < self.num_rows:
+        if len(keep) < k and need < self.total_rows:
             # Escalate once: fetch everything reachable and refilter.
-            response = self._gather(query, self.num_rows, **params)
+            response = self._gather(query, self.total_rows, **params)
             keep = [i for i, row_id in enumerate(response.ids)
                     if row_id not in self.tombstones
                     and self.payloads.matches(int(row_id), filter_)]
@@ -284,8 +289,12 @@ class Collection:
     @property
     def num_rows(self) -> int:
         """Live rows (excluding tombstones)."""
-        total = sum(seg.n for seg in self.segments) + len(self.growing)
-        return total - len(self.tombstones)
+        return self.total_rows - len(self.tombstones)
+
+    @property
+    def total_rows(self) -> int:
+        """Stored rows (tombstones included): what a gather can return."""
+        return sum(seg.n for seg in self.segments) + len(self.growing)
 
     def memory_bytes(self) -> int:
         total = sum(seg.memory_bytes() for seg in self.segments)

@@ -71,7 +71,11 @@ class MmapHNSWIndex(VectorIndex):
         result = self.inner.search(query, k, access_log=accessed, **params)
         pages = sorted({page for node in dict.fromkeys(accessed)
                         for page in self._pages_of(node)})
-        missing = [page for page in pages if not self.cache.access(page)]
+        missing = [page for page in pages if not self.cache.lookup(page)]
+        # The IoStep below schedules the fetch of every missed page, so
+        # they become resident for the next search.
+        for page in missing:
+            self.cache.insert(page)
         requests = merge_pages(missing, PAGE_SIZE, 128 * 1024)
         hits = len(pages) - len(missing)
         if requests or hits:

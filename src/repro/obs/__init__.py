@@ -1,0 +1,35 @@
+"""Query-level observability for benchmark runs.
+
+The paper characterizes I/O at the *run* level (block traces, run
+totals); this package adds the *query* level: spans with per-segment
+stage timings, fixed-bucket latency/size histograms, cache and queue
+attribution, and exporters (JSON lines, Prometheus text).  See
+DESIGN.md's "Observability" section for how spans map onto the paper's
+Figures 5-6.
+"""
+
+from repro.obs.export import (read_spans_jsonl, render_prometheus,
+                              spans_from_jsonl, spans_to_jsonl,
+                              write_prometheus, write_spans_jsonl)
+from repro.obs.primitives import (DEPTH_BUCKETS, LATENCY_BUCKETS_S,
+                                  SIZE_BUCKETS, Counter, Histogram)
+from repro.obs.span import STAGES, QuerySpan, SegmentTiming
+from repro.obs.telemetry import RunTelemetry
+
+__all__ = [
+    "Counter",
+    "DEPTH_BUCKETS",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "QuerySpan",
+    "RunTelemetry",
+    "STAGES",
+    "SegmentTiming",
+    "SIZE_BUCKETS",
+    "read_spans_jsonl",
+    "render_prometheus",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "write_prometheus",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,93 @@
+"""Telemetry exporters: JSON-lines span dumps and Prometheus text.
+
+Two formats cover the two consumption modes:
+
+* **JSON lines** — one span per line, lossless, for offline analysis
+  (the per-query Figure 6 reconstruction in :mod:`repro.trace.analysis`
+  reads these back);
+* **Prometheus text exposition** — aggregated counters and cumulative
+  histograms, for scraping a long-running serving deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as t
+
+from repro.errors import ReproError
+from repro.obs.span import QuerySpan
+from repro.obs.telemetry import RunTelemetry
+
+
+def spans_to_jsonl(spans: t.Sequence[QuerySpan]) -> str:
+    """Serialize spans as one JSON object per line."""
+    return "\n".join(json.dumps(span.to_dict(), sort_keys=True)
+                     for span in spans)
+
+
+def spans_from_jsonl(text: str) -> list[QuerySpan]:
+    """Parse a JSON-lines dump back into spans."""
+    spans = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spans.append(QuerySpan.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ReproError(f"bad span on line {lineno}: {exc}") from exc
+    return spans
+
+
+def write_spans_jsonl(spans: t.Sequence[QuerySpan], path: str) -> None:
+    with open(path, "w") as handle:
+        text = spans_to_jsonl(spans)
+        handle.write(text + "\n" if text else "")
+
+
+def read_spans_jsonl(path: str) -> list[QuerySpan]:
+    with open(path) as handle:
+        return spans_from_jsonl(handle.read())
+
+
+def _metric_name(name: str) -> str:
+    """Sanitize a telemetry name into a Prometheus metric name."""
+    return "repro_" + "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+
+def _render_histogram(lines: list[str], hist, labels: str = "") -> None:
+    name = _metric_name(hist.name.split(":")[0])
+    lines.append(f"# TYPE {name} histogram")
+    running = 0
+    for edge, count in zip(hist.buckets, hist.counts):
+        running += count
+        le = f"{edge:g}"
+        sep = "," if labels else ""
+        lines.append(f'{name}_bucket{{{labels}{sep}le="{le}"}} {running}')
+    sep = "," if labels else ""
+    lines.append(f'{name}_bucket{{{labels}{sep}le="+Inf"}} {hist.count}')
+    lines.append(f"{name}_sum{{{labels}}} {hist.sum:g}")
+    lines.append(f"{name}_count{{{labels}}} {hist.count}")
+
+
+def render_prometheus(telemetry: RunTelemetry) -> str:
+    """Render a run's aggregates in Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, counter in sorted(telemetry.counters.items()):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counter.value}")
+    _render_histogram(lines, telemetry.query_latency)
+    for stage, hist in sorted(telemetry.stage_latency.items()):
+        _render_histogram(lines, hist, labels=f'stage="{stage}"')
+    _render_histogram(lines, telemetry.read_request_size)
+    _render_histogram(lines, telemetry.per_query_read_bytes)
+    for resource, hist in sorted(telemetry.queue_depth.items()):
+        _render_histogram(lines, hist, labels=f'resource="{resource}"')
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(telemetry: RunTelemetry, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(render_prometheus(telemetry))

@@ -1,0 +1,118 @@
+"""Per-query spans: attributing time and I/O to individual queries.
+
+A :class:`QuerySpan` is opened when the benchmark runner issues a query
+and closed when the query's reply leaves the (simulated) server.  In
+between, the runner's process generators record where the simulated time
+went — the stages of the paper's query path:
+
+* ``rpc`` — network/protocol round-trip halves (no server CPU);
+* ``pool_wait`` — time queued behind the DiskANN admission pool;
+* ``cpu`` — core-seconds of actual computation;
+* ``cpu_wait`` — time runnable but queued for a core;
+* ``device`` — time blocked on block-device rounds.
+
+Stage timings are kept both per segment (:class:`SegmentTiming`, one per
+searched segment, mirroring Milvus's intra-query parallelism) and as
+query-level totals, alongside the query's device read volume and node-
+cache hits.  Summing ``read_bytes`` over spans reproduces the run's
+block-level read volume exactly — the per-query attribution the paper's
+Figure 6 derives by dividing run totals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+STAGES = ("rpc", "pool_wait", "cpu", "cpu_wait", "device")
+
+
+@dataclasses.dataclass
+class SegmentTiming:
+    """Stage timings and I/O of one segment within one query."""
+
+    cpu_s: float = 0.0
+    cpu_wait_s: float = 0.0
+    device_s: float = 0.0
+    read_bytes: int = 0
+    read_requests: int = 0
+    cache_hits: int = 0
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class QuerySpan:
+    """The telemetry record of one replayed query."""
+
+    query_id: int               # global issue ordinal within the run
+    index: int                  # position in the query set
+    client_id: int
+    cold: bool                  # replayed the cold (post-drop) plan?
+    start_s: float
+    end_s: float = 0.0
+    stages: dict[str, float] = dataclasses.field(default_factory=dict)
+    segments: dict[int, SegmentTiming] = dataclasses.field(
+        default_factory=dict)
+    read_bytes: int = 0
+    read_requests: int = 0
+    cache_hits: int = 0
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate *seconds* into a query-level stage."""
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def segment(self, seg: int) -> SegmentTiming:
+        """The (lazily created) timing record of segment position *seg*."""
+        timing = self.segments.get(seg)
+        if timing is None:
+            timing = self.segments[seg] = SegmentTiming()
+        return timing
+
+    def finish(self, now: float) -> None:
+        """Close the span: roll per-segment stages into query totals."""
+        self.end_s = now
+        for timing in self.segments.values():
+            if timing.cpu_s:
+                self.add_stage("cpu", timing.cpu_s)
+            if timing.cpu_wait_s:
+                self.add_stage("cpu_wait", timing.cpu_wait_s)
+            if timing.device_s:
+                self.add_stage("device", timing.device_s)
+            self.read_bytes += timing.read_bytes
+            self.read_requests += timing.read_requests
+            self.cache_hits += timing.cache_hits
+
+    @property
+    def latency_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return {
+            "query_id": self.query_id,
+            "index": self.index,
+            "client_id": self.client_id,
+            "cold": self.cold,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "stages": dict(self.stages),
+            "segments": {str(seg): timing.to_dict()
+                         for seg, timing in self.segments.items()},
+            "read_bytes": self.read_bytes,
+            "read_requests": self.read_requests,
+            "cache_hits": self.cache_hits,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, t.Any]) -> "QuerySpan":
+        span = cls(query_id=data["query_id"], index=data["index"],
+                   client_id=data["client_id"], cold=data["cold"],
+                   start_s=data["start_s"], end_s=data["end_s"],
+                   stages=dict(data["stages"]),
+                   read_bytes=data["read_bytes"],
+                   read_requests=data["read_requests"],
+                   cache_hits=data["cache_hits"])
+        span.segments = {int(seg): SegmentTiming(**timing)
+                         for seg, timing in data["segments"].items()}
+        return span

@@ -16,13 +16,23 @@ from repro.simkernel.events import Event
 
 
 class Resource:
-    """A FIFO pool of *capacity* identical slots."""
+    """A FIFO pool of *capacity* identical slots.
 
-    def __init__(self, env: Environment, capacity: int) -> None:
+    When a :class:`~repro.obs.telemetry.RunTelemetry` is attached (with
+    a ``name``), every request arrival samples the wait-queue depth into
+    the telemetry's per-resource depth histogram; sampling is passive
+    and never changes scheduling.
+    """
+
+    def __init__(self, env: Environment, capacity: int,
+                 name: str | None = None,
+                 telemetry: t.Any = None) -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1: {capacity}")
         self.env = env
         self.capacity = capacity
+        self.name = name or "resource"
+        self.telemetry = telemetry
         self._in_use = 0
         self._queue: list[Event] = []
         self._busy_integral = 0.0
@@ -33,6 +43,8 @@ class Resource:
     def request(self) -> Event:
         """Return an event that fires once a slot is granted."""
         grant = Event(self.env)
+        if self.telemetry is not None:
+            self.telemetry.observe_queue_depth(self.name, len(self._queue))
         if self._in_use < self.capacity:
             self._account()
             self._in_use += 1

@@ -34,10 +34,15 @@ class SimSSD:
     """Simulated block device attached to a simulation environment."""
 
     def __init__(self, env: Environment, spec: DeviceSpec,
-                 tracer: BlockTracer | None = None) -> None:
+                 tracer: BlockTracer | None = None,
+                 telemetry: t.Any = None) -> None:
+        """``telemetry`` is an optional
+        :class:`~repro.obs.telemetry.RunTelemetry`; every submitted batch
+        is reported to it (request-size histogram, byte counters)."""
         self.env = env
         self.spec = spec
         self.tracer = tracer if tracer is not None else BlockTracer(False)
+        self.telemetry = telemetry
         self._channel_free = [0.0] * spec.channels
         heapq.heapify(self._channel_free)
         self._occupancy_integral = 0.0
@@ -73,6 +78,8 @@ class SimSSD:
             self.bytes_written += sum(size for _off, size in requests)
         else:
             raise StorageError(f"unknown op {op!r}")
+        if self.telemetry is not None:
+            self.telemetry.on_device_submit(op, requests)
         batch_done = now
         for offset, size in requests:
             self.tracer.record(now, op, offset, size)

@@ -5,6 +5,17 @@ mmap-based engine setups) and the block device.  The paper flushes this
 cache with ``sync; echo 1 > /proc/sys/vm/drop_caches`` before every run —
 :meth:`PageCache.drop` is the equivalent.
 
+Lookup and insertion are separate operations: :meth:`PageCache.lookup`
+only probes (and counts) an access, and callers insert a page once they
+actually schedule its fetch.  The earlier combined access-and-insert
+primitive let a reader that merely *planned* a fetch populate the cache,
+so a second overlapping read in the same simulated instant counted a
+phantom hit and skipped the device entirely while the data was still in
+flight.  :class:`CachedBlockReader` therefore fills pages in only when
+their device read completes; concurrent readers of the same cold page
+each issue the fetch (the read amplification a racing buffered reader
+pays before the page lands).
+
 Engines that open files with O_DIRECT (the DiskANN index file in Milvus)
 bypass this layer entirely and talk to :class:`SimSSD` directly, which is
 why their request streams reach the block tracer unmerged as 4 KiB reads
@@ -21,17 +32,22 @@ from repro.simkernel import Environment, Event
 from repro.storage.device import SimSSD
 from repro.storage.spec import PAGE_SIZE
 
+#: Telemetry hook: called with (page, hit) on every lookup.
+CacheListener = t.Callable[[int, bool], None]
+
 
 class PageCache:
     """Fixed-capacity LRU set of (device) page numbers."""
 
     def __init__(self, capacity_bytes: int,
-                 page_size: int = PAGE_SIZE) -> None:
+                 page_size: int = PAGE_SIZE,
+                 listener: CacheListener | None = None) -> None:
         if capacity_bytes < 0 or page_size <= 0:
             raise StorageError(
                 f"bad cache geometry: {capacity_bytes}/{page_size}")
         self.page_size = page_size
         self.capacity_pages = capacity_bytes // page_size
+        self.listener = listener
         self._pages: "collections.OrderedDict[int, None]" = (
             collections.OrderedDict())
         self.hits = 0
@@ -43,15 +59,18 @@ class PageCache:
     def __len__(self) -> int:
         return len(self._pages)
 
-    def access(self, page: int) -> bool:
-        """Record an access; returns True on hit.  Misses are inserted."""
+    def lookup(self, page: int) -> bool:
+        """Record an access; returns True on hit.  Never inserts."""
         if page in self._pages:
             self._pages.move_to_end(page)
             self.hits += 1
-            return True
-        self.misses += 1
-        self.insert(page)
-        return False
+            hit = True
+        else:
+            self.misses += 1
+            hit = False
+        if self.listener is not None:
+            self.listener(page, hit)
+        return hit
 
     def insert(self, page: int) -> None:
         """Add *page*, evicting the least recently used page if full."""
@@ -80,7 +99,10 @@ class CachedBlockReader:
     Reads are split into pages; missing pages are fetched from the
     device with adjacent misses merged into single block-layer requests
     (up to the device's ``max_request_bytes``), the way the kernel's
-    buffered read path does.  Cache hits cost no device time.
+    buffered read path does.  Cache hits cost no device time.  Fetched
+    pages enter the cache when their device read *completes* — until
+    then, an overlapping read of the same pages misses too and fetches
+    them itself rather than phantom-hitting in-flight data.
     """
 
     def __init__(self, env: Environment, device: SimSSD,
@@ -91,22 +113,28 @@ class CachedBlockReader:
 
     def read(self, offset: int, size: int) -> Event:
         """Buffered read; returns an event firing once all pages are in."""
-        requests = self._plan_requests(offset, size)
+        missing = self._missing_pages(offset, size)
+        requests = merge_pages(missing, self.cache.page_size,
+                               self.device.spec.max_request_bytes)
         if not requests:
             return self.env.timeout(0.0)
-        return self.device.read_many(requests)
+        done = self.device.read_many(requests)
+        # Fill the cache only when the fetch lands, not when planned.
+        done._wait(lambda _event: self._fill(missing))
+        return done
 
-    def _plan_requests(self, offset: int,
-                       size: int) -> list[tuple[int, int]]:
+    def _fill(self, pages: t.Sequence[int]) -> None:
+        for page in pages:
+            self.cache.insert(page)
+
+    def _missing_pages(self, offset: int, size: int) -> list[int]:
         if size <= 0 or offset < 0:
             raise StorageError(f"bad read: offset={offset} size={size}")
         page_size = self.cache.page_size
         first = offset // page_size
         last = (offset + size - 1) // page_size
-        missing = [page for page in range(first, last + 1)
-                   if not self.cache.access(page)]
-        return merge_pages(missing, page_size,
-                           self.device.spec.max_request_bytes)
+        return [page for page in range(first, last + 1)
+                if not self.cache.lookup(page)]
 
 
 def merge_pages(pages: t.Sequence[int], page_size: int,

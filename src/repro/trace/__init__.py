@@ -1,16 +1,23 @@
 """Block-trace analysis for the paper's I/O characterization."""
 
 from repro.trace.analysis import (BandwidthSeries, bandwidth_series,
-                                  fraction_at_size, offset_reuse_stats,
-                                  per_query_volume, request_size_histogram,
-                                  total_bytes)
+                                  cold_warm_split, fraction_at_size,
+                                  offset_reuse_stats, per_query_io_histogram,
+                                  per_query_volume,
+                                  per_query_volume_from_spans,
+                                  request_size_histogram,
+                                  stage_latency_breakdown, total_bytes)
 
 __all__ = [
     "BandwidthSeries",
     "bandwidth_series",
+    "cold_warm_split",
     "fraction_at_size",
     "offset_reuse_stats",
+    "per_query_io_histogram",
     "per_query_volume",
+    "per_query_volume_from_spans",
     "request_size_histogram",
+    "stage_latency_breakdown",
     "total_bytes",
 ]

@@ -4,6 +4,11 @@ Consumes :class:`~repro.storage.tracer.BlockTracer` records and produces
 the quantities of Section V: per-interval bandwidth series (Figure 5),
 request-size histograms (O-15), and per-query average I/O volume
 (Figure 6).
+
+The span-based helpers at the bottom compute the same Figure 6
+quantities *per query* from :class:`~repro.obs.QuerySpan` telemetry —
+the true distribution rather than the run-total-divided-by-completed
+average the block trace alone can give.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import typing as t
 import numpy as np
 
 from repro.errors import ReproError
+from repro.obs import SIZE_BUCKETS, Histogram, QuerySpan
 from repro.storage.tracer import TraceRecord
 
 
@@ -100,6 +106,78 @@ def per_query_volume(records: t.Sequence[TraceRecord],
         raise ReproError(
             f"per-query volume needs completed queries: {completed_queries}")
     return total_bytes(records, op) / completed_queries
+
+
+# -- per-query breakdowns from telemetry spans -------------------------------
+
+
+def per_query_io_histogram(spans: t.Sequence[QuerySpan],
+                           ) -> Histogram:
+    """Distribution of device read bytes per query (Figure 6, exactly).
+
+    Built directly from telemetry spans instead of dividing the run's
+    block-trace total by its completed-query count, so it preserves the
+    spread (cold-vs-warm replays, cache-hit variance) that the paper's
+    averages flatten.
+    """
+    if not spans:
+        raise ReproError("per-query histogram needs spans")
+    hist = Histogram("per_query_read_bytes", SIZE_BUCKETS)
+    for span in spans:
+        hist.observe(span.read_bytes)
+    return hist
+
+
+def per_query_volume_from_spans(spans: t.Sequence[QuerySpan]) -> float:
+    """Mean device read bytes per query, from spans.
+
+    Equals :func:`per_query_volume` over the same run's trace records
+    when queries are the only readers (the reconciliation the telemetry
+    tests assert).
+    """
+    if not spans:
+        raise ReproError("per-query volume needs spans")
+    return sum(span.read_bytes for span in spans) / len(spans)
+
+
+def stage_latency_breakdown(spans: t.Sequence[QuerySpan],
+                            ) -> dict[str, dict[str, float]]:
+    """Per-stage time totals and shares over a run's spans.
+
+    Returns ``{stage: {"total_s", "mean_s", "share"}}`` where ``share``
+    is the stage's fraction of all attributed time — the decomposition
+    behind the paper's CPU-vs-I/O bottleneck arguments (Figure 4, O-5).
+    """
+    if not spans:
+        raise ReproError("stage breakdown needs spans")
+    totals: dict[str, float] = collections.defaultdict(float)
+    for span in spans:
+        for stage, seconds in span.stages.items():
+            totals[stage] += seconds
+    grand = sum(totals.values())
+    return {stage: {"total_s": total,
+                    "mean_s": total / len(spans),
+                    "share": total / grand if grand else 0.0}
+            for stage, total in sorted(totals.items())}
+
+
+def cold_warm_split(spans: t.Sequence[QuerySpan],
+                    ) -> dict[str, dict[str, float]]:
+    """Mean latency and read bytes, split by cold-vs-warm replay."""
+    if not spans:
+        raise ReproError("cold/warm split needs spans")
+    out: dict[str, dict[str, float]] = {}
+    for label, subset in (("cold", [s for s in spans if s.cold]),
+                          ("warm", [s for s in spans if not s.cold])):
+        if subset:
+            out[label] = {
+                "queries": float(len(subset)),
+                "mean_latency_s": float(np.mean(
+                    [s.latency_s for s in subset])),
+                "mean_read_bytes": float(np.mean(
+                    [s.read_bytes for s in subset])),
+            }
+    return out
 
 
 def offset_reuse_stats(records: t.Sequence[TraceRecord],

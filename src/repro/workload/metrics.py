@@ -16,6 +16,7 @@ import typing as t
 import numpy as np
 
 from repro.errors import WorkloadError
+from repro.obs import RunTelemetry
 from repro.storage.tracer import BlockTracer
 
 
@@ -41,6 +42,7 @@ class RunResult:
     recall: float | None = None
     search_params: dict[str, t.Any] = dataclasses.field(default_factory=dict)
     tracer: BlockTracer | None = None
+    telemetry: RunTelemetry | None = None
     error: str | None = None        # e.g. "out-of-memory"
 
     @property

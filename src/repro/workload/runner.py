@@ -23,6 +23,7 @@ deterministic and converges far faster than noisy hardware.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import math
 import typing as t
@@ -35,6 +36,7 @@ from repro.engines.costmodel import CostModel
 from repro.engines.engine import Collection, VectorEngine
 from repro.engines.profiles import PAPER_CPU_CORES
 from repro.errors import OutOfMemoryError, WorkloadError
+from repro.obs import RunTelemetry
 from repro.simkernel import Environment, Resource
 from repro.storage.blockfile import ExtentAllocator
 from repro.storage.device import SimSSD
@@ -90,6 +92,13 @@ class CompiledQuery:
     """One query's priced execution plan, one step list per segment."""
 
     segments: list[list[CompiledStep]]
+    #: Node/page-cache hits per segment, from the functional pass; used
+    #: by telemetry to attribute cache effectiveness to query ids.
+    cache_hits: list[int] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        while len(self.cache_hits) < len(self.segments):
+            self.cache_hits.append(0)
 
 
 class BenchRunner:
@@ -167,16 +176,18 @@ class BenchRunner:
         plans, found = [], []
         for query in self.queries:
             response = self.collection.search(query, self.k, **params)
-            segments = []
+            segments, seg_hits = [], []
             # Map work profiles to segment ids: works are appended in
             # segment order, the growing buffer last.
             for work, segment in zip(response.works,
                                      self.collection.segments):
                 segments.append(self._compile_work(work,
                                                    segment.segment_id))
+                seg_hits.append(work.cache_hits)
             for work in response.works[len(self.collection.segments):]:
                 segments.append(self._compile_work(work, None))
-            plans.append(CompiledQuery(segments))
+                seg_hits.append(work.cache_hits)
+            plans.append(CompiledQuery(segments, seg_hits))
             found.append(response.ids)
         return plans, found
 
@@ -218,14 +229,24 @@ class BenchRunner:
     def run(self, concurrency: int, search_params: dict | None = None,
             duration_s: float = 4.0, max_queries: int = 25_000,
             trace: bool = False, phase: int = 0,
-            write_load: WriteLoad | None = None) -> RunResult:
+            write_load: WriteLoad | None = None,
+            telemetry: RunTelemetry | bool | None = None) -> RunResult:
         """One measured run at one concurrency level.
 
         ``phase`` offsets each client's starting query (the repetition
         knob; the simulator itself is deterministic).
+
+        ``telemetry`` attaches a :class:`~repro.obs.RunTelemetry` (pass
+        ``True`` to create a fresh one): every replayed query then gets a
+        :class:`~repro.obs.QuerySpan` with per-segment stage timings and
+        I/O attribution, and the device/core/pool instruments feed the
+        shared histograms.  Telemetry is passive — with it off (the
+        default) or on, the simulated schedule and every reported number
+        are identical.
         """
         if concurrency < 1:
             raise WorkloadError(f"concurrency must be >= 1: {concurrency}")
+        telem = RunTelemetry() if telemetry is True else (telemetry or None)
         params = dict(search_params or {})
         profile = self.engine.profile
 
@@ -245,13 +266,15 @@ class BenchRunner:
         except OutOfMemoryError:
             return failure("out-of-memory")
 
+        cache_base = self._cache_counters() if telem is not None else {}
         cold, warm, recall = self._compile(params)
         env = Environment()
         tracer = BlockTracer(enabled=trace)
-        device = SimSSD(env, self.device_spec, tracer)
-        cores = Resource(env, self.cores)
+        device = SimSSD(env, self.device_spec, tracer, telemetry=telem)
+        cores = Resource(env, self.cores, name="cores", telemetry=telem)
         pool_size = getattr(profile, "diskann_pool", 0)
-        pool = (Resource(env, pool_size)
+        pool = (Resource(env, pool_size, name="diskann_pool",
+                         telemetry=telem)
                 if pool_size and self.collection.index_spec.kind == "diskann"
                 else None)
         fixed_cpu = (profile.fixed_query_cpu_s
@@ -259,46 +282,91 @@ class BenchRunner:
         state = _RunState(n_queries=len(self.queries),
                           max_queries=max_queries)
 
-        def segment_proc(steps: list[CompiledStep]):
+        def segment_proc(steps: list[CompiledStep], span=None,
+                         seg: int = 0, cache_hits: int = 0):
+            timing = span.segment(seg) if span is not None else None
+            if timing is not None:
+                timing.cache_hits += cache_hits
             for kind, payload in steps:
                 if kind == "cpu":
-                    yield from cores.use(payload)
+                    if timing is None:
+                        yield from cores.use(payload)
+                    else:
+                        queued_at = env.now
+                        yield from cores.use(payload)
+                        timing.cpu_s += payload
+                        timing.cpu_wait_s += max(
+                            0.0, env.now - queued_at - payload)
                 else:
-                    yield device.submit(payload, "R")
+                    if timing is None:
+                        yield device.submit(payload, "R")
+                    else:
+                        submitted_at = env.now
+                        yield device.submit(payload, "R")
+                        timing.device_s += env.now - submitted_at
+                        timing.read_requests += len(payload)
+                        timing.read_bytes += sum(
+                            size for _off, size in payload)
 
-        def query_proc(plan: CompiledQuery):
+        def query_proc(plan: CompiledQuery, span=None):
             if profile.rpc_s:
                 yield env.timeout(profile.rpc_s / 2)
+                if span is not None:
+                    span.add_stage("rpc", profile.rpc_s / 2)
             if pool is not None:
+                queued_at = env.now
                 yield pool.request()
+                if span is not None:
+                    span.add_stage("pool_wait", env.now - queued_at)
             try:
                 if fixed_cpu > 0:
+                    queued_at = env.now
                     yield from cores.use(fixed_cpu)
+                    if span is not None:
+                        span.add_stage("cpu", fixed_cpu)
+                        span.add_stage("cpu_wait", max(
+                            0.0, env.now - queued_at - fixed_cpu))
                 parallel = (profile.intra_query_parallelism
                             and len(plan.segments) > 1)
                 if parallel:
-                    yield env.all_of([env.process(segment_proc(steps))
-                                      for steps in plan.segments])
+                    yield env.all_of([
+                        env.process(segment_proc(steps, span, seg, hits))
+                        for seg, (steps, hits) in enumerate(
+                            zip(plan.segments, plan.cache_hits))])
                 else:
-                    for steps in plan.segments:
-                        yield from segment_proc(steps)
+                    for seg, (steps, hits) in enumerate(
+                            zip(plan.segments, plan.cache_hits)):
+                        yield from segment_proc(steps, span, seg, hits)
             finally:
                 if pool is not None:
                     pool.release()
             if profile.rpc_s:
                 yield env.timeout(profile.rpc_s / 2)
+                if span is not None:
+                    span.add_stage("rpc", profile.rpc_s / 2)
 
         def client(client_id: int):
             while env.now < duration_s and state.issued < state.max_queries:
                 ordinal = state.issued
                 state.issued += 1
                 index = (ordinal + client_id + phase) % state.n_queries
-                plan = cold[index] if ordinal < state.n_queries else (
-                    warm[index])
+                # Cold-vs-warm is a per-*index* decision: the first
+                # replay of a query index after the cache drop uses its
+                # cold profile, every later replay the warm one.  (The
+                # global issue ordinal is offset from the index by
+                # client_id + phase, so gating on it replayed some
+                # indexes cold twice and others never.)
+                cold_replay = state.first_touch(index)
+                plan = cold[index] if cold_replay else warm[index]
+                span = (telem.begin_query(ordinal, index, client_id,
+                                          cold_replay, env.now)
+                        if telem is not None else None)
                 start = env.now
-                yield from query_proc(plan)
+                yield from query_proc(plan, span)
                 state.latencies.append(env.now - start)
                 state.last_completion = env.now
+                if span is not None:
+                    telem.end_query(span, env.now)
 
         def writer(writer_id: int):
             log_size = 256 * write_load.bytes_per_flush
@@ -332,6 +400,13 @@ class BenchRunner:
             raise WorkloadError(
                 "run completed no queries; duration too short?")
         elapsed = max(state.last_completion, 1e-9)
+        if telem is not None:
+            # Functional-phase cache activity attributable to this run
+            # (zero when the plan compile was already cached).
+            for name, value in self._cache_counters().items():
+                delta = value - cache_base.get(name, 0)
+                if delta:
+                    telem.counter(name).inc(delta)
         return RunResult(
             engine=profile.name,
             index_kind=self.collection.index_spec.kind,
@@ -351,7 +426,25 @@ class BenchRunner:
             recall=recall,
             search_params=params,
             tracer=tracer if trace else None,
+            telemetry=telem,
         )
+
+    def _cache_counters(self) -> dict[str, int]:
+        """Cumulative cache counters of the collection's indexes."""
+        totals: collections.Counter[str] = collections.Counter()
+        for segment in self.collection.segments:
+            index = segment.index
+            stats_fn = getattr(index, "cache_stats", None)
+            if stats_fn is not None:      # DiskANN node caches
+                stats = stats_fn()
+                totals["cache_diskann_static_hits"] += stats["static_hits"]
+                totals["cache_diskann_lru_hits"] += stats["lru_hits"]
+                totals["cache_diskann_node_misses"] += stats["misses"]
+            cache = getattr(index, "cache", None)
+            if cache is not None and hasattr(cache, "hits"):
+                totals["cache_page_hits"] += cache.hits
+                totals["cache_page_misses"] += cache.misses
+        return dict(totals)
 
 
 @dataclasses.dataclass
@@ -361,3 +454,11 @@ class _RunState:
     issued: int = 0
     last_completion: float = 0.0
     latencies: list[float] = dataclasses.field(default_factory=list)
+    cold_replayed: set[int] = dataclasses.field(default_factory=set)
+
+    def first_touch(self, index: int) -> bool:
+        """True exactly once per query index: replay its cold profile."""
+        if index in self.cold_replayed:
+            return False
+        self.cold_replayed.add(index)
+        return True

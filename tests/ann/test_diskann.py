@@ -200,3 +200,42 @@ class TestDiskANN:
         steps = diskann.search(small_queries[0], 10).work.steps
         kinds = [type(s) for s in steps]
         assert CpuStep in kinds and IoStep in kinds
+
+
+class TestCacheAccounting:
+    """Regression: memory_bytes must charge LRU *occupancy*, not capacity."""
+
+    def _index(self, small_data, lru_bytes):
+        return DiskANNIndex(metric="cosine", R=16, L_build=32,
+                            storage_dim=768, lru_bytes=lru_bytes,
+                            ).build(small_data)
+
+    def test_empty_lru_charges_nothing(self, small_data):
+        huge = 1 << 30  # far larger than the dataset itself
+        index = self._index(small_data, huge)
+        baseline = self._index(small_data, 0)
+        # Pre-fix this charged the full 1 GiB budget before any search.
+        assert index.memory_bytes() == baseline.memory_bytes()
+        assert index.lru_capacity_bytes >= huge - index.layout.node_bytes
+
+    def test_memory_grows_with_occupancy_and_resets(self, small_data,
+                                                    small_queries):
+        index = self._index(small_data, 1 << 22)
+        cold = index.memory_bytes()
+        for q in small_queries[:4]:
+            index.search(q, 10)
+        warmed = index.memory_bytes()
+        assert warmed > cold
+        assert warmed <= cold + index.lru_capacity_bytes
+        index.reset_dynamic_cache()
+        assert index.memory_bytes() == cold
+
+    def test_cache_stats_count_hits_and_misses(self, small_data,
+                                               small_queries):
+        index = self._index(small_data, 1 << 22)
+        index.search(small_queries[0], 10)
+        index.search(small_queries[0], 10)   # warm repeat
+        stats = index.cache_stats()
+        assert stats["misses"] > 0
+        assert stats["lru_hits"] > 0
+        assert stats["static_hits"] == 0     # no static cache configured

@@ -114,7 +114,8 @@ def test_merge_pages_covers_exactly_the_input(pages):
 def test_page_cache_never_exceeds_capacity(capacity, accesses):
     cache = PageCache(capacity_bytes=capacity * 4096)
     for page in accesses:
-        cache.access(page)
+        if not cache.lookup(page):
+            cache.insert(page)
         assert len(cache) <= capacity
     assert cache.hits + cache.misses == len(accesses)
 

@@ -25,6 +25,22 @@ def test_sweep_command(capsys):
     assert "QPS" in out and "P99" in out
 
 
+def test_telemetry_command_exports(capsys, tmp_path):
+    jsonl = str(tmp_path / "spans.jsonl")
+    prom = str(tmp_path / "metrics.prom")
+    assert main(["telemetry", "-s", "milvus-diskann", "-d", "openai-500k",
+                 "--threads", "2", "--duration", "0.2",
+                 "--jsonl", jsonl, "--prom", prom]) == 0
+    out = capsys.readouterr().out
+    assert "Stage latency" in out
+    assert "reconciliation" in out and "True" in out
+    from repro.obs import read_spans_jsonl
+    spans = read_spans_jsonl(jsonl)
+    assert spans and all(s.read_bytes >= 0 for s in spans)
+    with open(prom) as handle:
+        assert "repro_query_latency_s_bucket" in handle.read()
+
+
 def test_unknown_setup_rejected():
     with pytest.raises(SystemExit):
         main(["sweep", "-s", "bogus", "-d", "openai-500k"])
@@ -42,6 +58,6 @@ def test_figure_out_of_range(capsys):
 def test_parser_lists_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for command in ("fio", "table2", "tune", "sweep", "figure", "study",
-                    "prebuild"):
+    for command in ("fio", "table2", "tune", "sweep", "figure", "telemetry",
+                    "study", "prebuild"):
         assert command in text

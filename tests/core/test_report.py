@@ -49,3 +49,34 @@ def test_render_fig6():
     text = render_fig6(data)
     assert "20.0" in text and "18.0" in text
     assert "1.0000" in text  # the concurrency-1 4 KiB fraction column
+
+
+def test_render_telemetry_sections():
+    from repro.core.report import render_telemetry
+    from repro.obs import RunTelemetry
+
+    telemetry = RunTelemetry()
+    for query_id, (cold, read_bytes) in enumerate([(True, 8192),
+                                                   (False, 4096)]):
+        span = telemetry.begin_query(query_id, query_id, 0, cold,
+                                     now=0.01 * query_id)
+        seg = span.segment(0)
+        seg.cpu_s, seg.device_s, seg.read_bytes = 1e-3, 2e-3, read_bytes
+        span.add_stage("rpc", 5e-4)
+        telemetry.end_query(span, now=0.01 * query_id + 0.004)
+    telemetry.on_device_submit("R", [(0, 8192)])
+    telemetry.observe_queue_depth("cores", 1)
+    text = render_telemetry(telemetry)
+    assert "Stage latency" in text
+    assert "Figure 6" in text
+    assert "Cold vs warm" in text
+    assert "cold" in text and "warm" in text
+    assert "device_read_bytes" in text
+    assert "Queue depth" in text
+
+
+def test_render_telemetry_empty_run():
+    from repro.core.report import render_telemetry
+    from repro.obs import RunTelemetry
+
+    assert render_telemetry(RunTelemetry()) == ""

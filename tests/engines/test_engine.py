@@ -257,3 +257,53 @@ class TestPersistence:
         b = recovered.search("docs", small_data[0], 5, ef_search=40)
         assert np.array_equal(a.ids, b.ids)
         assert recovered.profile.name == "milvus"
+
+
+class TestEscalationBound:
+    """Regression: the escalation path must be bounded by *stored* rows.
+
+    Pre-fix, Collection.search capped the initial gather (and the
+    escalation trigger) at the live row count.  With heavy deletions the
+    top-`need` results could be tombstones wall-to-wall, yet `need ==
+    num_rows` suppressed the escalation and the search came back empty
+    while surviving rows sat unfetched in the segments.
+    """
+
+    K = 10
+
+    @pytest.fixture
+    def line_engine(self):
+        # Row i sits at distance i from the origin query: deleting the
+        # nearest rows makes tombstones crowd out every survivor.
+        engine = VectorEngine("milvus")
+        engine.create_collection("line", 4, IndexSpec.of("flat"))
+        vectors = np.zeros((100, 4), dtype=np.float32)
+        vectors[:, 0] = np.arange(100, dtype=np.float32)
+        engine.insert("line", vectors,
+                      payloads=[{"rank": int(i)} for i in range(100)])
+        engine.flush("line")
+        return engine
+
+    def test_heavy_deletion_still_returns_k(self, line_engine):
+        line_engine.delete("line", range(60))
+        query = np.zeros(4, dtype=np.float32)
+        response = line_engine.search("line", query, self.K)
+        assert response.ids.tolist() == list(range(60, 70))
+
+    def test_heavy_deletion_plus_filter_escalates_to_stored_rows(
+            self, line_engine):
+        # Survivors of the first gather (rows 60..69) all fail the
+        # filter; only the escalation to the full stored row count can
+        # reach the matching rows 80+.
+        line_engine.delete("line", range(60))
+        query = np.zeros(4, dtype=np.float32)
+        response = line_engine.search("line", query, self.K,
+                                      filter_=Filter.range("rank", low=80))
+        assert response.ids.tolist() == list(range(80, 90))
+
+    def test_counts_track_tombstones(self, line_engine):
+        collection = line_engine.collection("line")
+        assert collection.total_rows == 100
+        line_engine.delete("line", range(60))
+        assert collection.total_rows == 100   # still stored
+        assert collection.num_rows == 40      # live

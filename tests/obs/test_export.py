@@ -1,0 +1,83 @@
+"""Exporter tests: JSON-lines round-trip and Prometheus rendering."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import (RunTelemetry, read_spans_jsonl, render_prometheus,
+                       spans_from_jsonl, spans_to_jsonl, write_prometheus,
+                       write_spans_jsonl)
+
+
+def run_with_two_queries():
+    telemetry = RunTelemetry()
+    for query_id in range(2):
+        span = telemetry.begin_query(query_id, query_id, 0,
+                                     cold=query_id == 0, now=0.1 * query_id)
+        seg = span.segment(0)
+        seg.cpu_s, seg.device_s = 0.001, 0.002
+        seg.read_bytes, seg.read_requests = 4096 * (query_id + 1), 1
+        span.add_stage("rpc", 0.0005)
+        telemetry.end_query(span, now=0.1 * query_id + 0.004)
+    telemetry.on_device_submit("R", [(0, 4096), (4096, 8192)])
+    telemetry.observe_queue_depth("cores", 2)
+    return telemetry
+
+
+class TestJsonl:
+    def test_roundtrip_in_memory(self):
+        telemetry = run_with_two_queries()
+        restored = spans_from_jsonl(spans_to_jsonl(telemetry.spans))
+        assert restored == telemetry.spans
+
+    def test_roundtrip_via_file(self, tmp_path):
+        telemetry = run_with_two_queries()
+        path = str(tmp_path / "spans.jsonl")
+        write_spans_jsonl(telemetry.spans, path)
+        assert read_spans_jsonl(path) == telemetry.spans
+
+    def test_blank_lines_skipped(self):
+        telemetry = run_with_two_queries()
+        text = spans_to_jsonl(telemetry.spans) + "\n\n"
+        assert len(spans_from_jsonl(text)) == 2
+
+    def test_empty_dump(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        write_spans_jsonl([], path)
+        assert read_spans_jsonl(path) == []
+
+    def test_bad_line_reports_line_number(self):
+        good = spans_to_jsonl(run_with_two_queries().spans[:1])
+        with pytest.raises(ReproError, match="line 2"):
+            spans_from_jsonl(good + "\nnot json")
+        with pytest.raises(ReproError, match="line 1"):
+            spans_from_jsonl('{"query_id": 0}')  # missing fields
+
+
+class TestPrometheus:
+    def test_counters_rendered_with_total_suffix(self):
+        text = render_prometheus(run_with_two_queries())
+        assert "# TYPE repro_device_read_bytes_total counter" in text
+        assert "repro_device_read_bytes_total 12288" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_prometheus(run_with_two_queries())
+        lines = [ln for ln in text.splitlines()
+                 if ln.startswith("repro_per_query_read_bytes_bucket")]
+        assert lines[-1].startswith(
+            'repro_per_query_read_bytes_bucket{le="+Inf"} 2')
+        counts = [int(ln.rsplit(" ", 1)[1]) for ln in lines]
+        assert counts == sorted(counts)
+        assert 'le="4096"' in text    # span 0 read exactly one page
+        assert "repro_per_query_read_bytes_sum" in text
+        assert "repro_per_query_read_bytes_count" in text
+
+    def test_stage_and_resource_labels(self):
+        text = render_prometheus(run_with_two_queries())
+        assert 'repro_stage_latency_s_bucket{stage="rpc",le=' in text
+        assert 'repro_queue_depth_bucket{resource="cores",le=' in text
+
+    def test_write_prometheus(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(run_with_two_queries(), path)
+        with open(path) as handle:
+            assert handle.read().endswith("\n")

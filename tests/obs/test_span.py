@@ -1,0 +1,114 @@
+"""Unit tests for query spans and the run-telemetry aggregator."""
+
+import pytest
+
+from repro.obs import STAGES, QuerySpan, RunTelemetry, SegmentTiming
+
+
+def make_span(**overrides):
+    defaults = dict(query_id=0, index=3, client_id=1, cold=True,
+                    start_s=0.5)
+    defaults.update(overrides)
+    return QuerySpan(**defaults)
+
+
+class TestQuerySpan:
+    def test_add_stage_accumulates(self):
+        span = make_span()
+        span.add_stage("rpc", 0.1)
+        span.add_stage("rpc", 0.2)
+        assert span.stages["rpc"] == pytest.approx(0.3)
+
+    def test_segment_lazily_created_once(self):
+        span = make_span()
+        timing = span.segment(2)
+        timing.cpu_s += 1.0
+        assert span.segment(2) is timing
+        assert set(span.segments) == {2}
+
+    def test_finish_rolls_segments_into_totals(self):
+        span = make_span()
+        span.add_stage("rpc", 0.05)
+        a = span.segment(0)
+        a.cpu_s, a.device_s = 0.1, 0.2
+        a.read_bytes, a.read_requests, a.cache_hits = 4096, 1, 3
+        b = span.segment(1)
+        b.cpu_s, b.cpu_wait_s = 0.3, 0.05
+        b.read_bytes, b.read_requests = 8192, 2
+        span.finish(2.0)
+        assert span.end_s == 2.0
+        assert span.latency_s == pytest.approx(1.5)
+        assert span.stages["cpu"] == pytest.approx(0.4)
+        assert span.stages["cpu_wait"] == pytest.approx(0.05)
+        assert span.stages["device"] == pytest.approx(0.2)
+        assert span.stages["rpc"] == pytest.approx(0.05)
+        assert span.read_bytes == 12288
+        assert span.read_requests == 3
+        assert span.cache_hits == 3
+
+    def test_stage_names_are_the_documented_set(self):
+        assert STAGES == ("rpc", "pool_wait", "cpu", "cpu_wait", "device")
+
+    def test_dict_roundtrip_preserves_segments(self):
+        span = make_span()
+        span.segment(1).read_bytes = 4096
+        span.finish(1.0)
+        clone = QuerySpan.from_dict(span.to_dict())
+        assert clone == span
+        assert isinstance(next(iter(clone.segments)), int)
+        assert isinstance(clone.segments[1], SegmentTiming)
+
+
+class TestRunTelemetry:
+    def test_begin_end_populates_aggregates(self):
+        telemetry = RunTelemetry()
+        span = telemetry.begin_query(0, 5, 2, True, now=1.0)
+        span.add_stage("rpc", 0.01)
+        seg = span.segment(0)
+        seg.cpu_s, seg.read_bytes, seg.cache_hits = 0.02, 4096, 2
+        telemetry.end_query(span, now=1.5)
+        assert telemetry.spans == [span]
+        assert telemetry.query_latency.count == 1
+        assert telemetry.query_latency.sum == pytest.approx(0.5)
+        assert telemetry.stage_latency["rpc"].count == 1
+        assert telemetry.stage_latency["cpu"].count == 1
+        assert telemetry.per_query_read_bytes.count == 1
+        assert telemetry.counters["query_cache_hits"].value == 2
+        assert telemetry.total_read_bytes == 4096
+        assert telemetry.total_cache_hits == 2
+
+    def test_on_device_submit_read_vs_write(self):
+        telemetry = RunTelemetry()
+        telemetry.on_device_submit("R", [(0, 4096), (8192, 4096)])
+        telemetry.on_device_submit("W", [(0, 512)])
+        assert telemetry.counters["device_read_requests"].value == 2
+        assert telemetry.counters["device_read_bytes"].value == 8192
+        assert telemetry.counters["device_write_requests"].value == 1
+        assert telemetry.counters["device_write_bytes"].value == 512
+        assert telemetry.read_request_size.count == 2  # writes not sized
+
+    def test_queue_depth_per_resource(self):
+        telemetry = RunTelemetry()
+        telemetry.observe_queue_depth("cores", 0)
+        telemetry.observe_queue_depth("cores", 3)
+        telemetry.observe_queue_depth("pool", 1)
+        assert telemetry.queue_depth["cores"].count == 2
+        assert telemetry.queue_depth["pool"].count == 1
+
+    def test_cache_hooks_and_hit_rate(self):
+        telemetry = RunTelemetry()
+        telemetry.on_cache_access("page", True)
+        telemetry.on_cache_access("page", False)
+        telemetry.record_cache_stats("page", hits=2, misses=1)
+        assert telemetry.cache_hit_rate("page") == pytest.approx(3 / 5)
+        assert telemetry.cache_hit_rate("never_seen") == 0.0
+
+    def test_summary_shape(self):
+        telemetry = RunTelemetry()
+        span = telemetry.begin_query(0, 0, 0, False, now=0.0)
+        telemetry.end_query(span, now=0.001)
+        summary = telemetry.summary()
+        assert summary["queries"] == 1
+        assert summary["total_read_bytes"] == 0
+        assert summary["mean_latency_s"] == pytest.approx(0.001)
+        assert isinstance(summary["counters"], dict)

@@ -85,3 +85,70 @@ def test_offset_reuse_stats():
 def test_offset_reuse_stats_empty_raises():
     with pytest.raises(ReproError):
         offset_reuse_stats([])
+
+
+# -- span-based helpers ------------------------------------------------------
+
+
+def make_span(index, cold, latency_s, read_bytes, stages=None):
+    from repro.obs import QuerySpan
+    span = QuerySpan(query_id=index, index=index, client_id=0, cold=cold,
+                     start_s=0.0, end_s=latency_s,
+                     stages=dict(stages or {}), read_bytes=read_bytes)
+    return span
+
+
+def test_per_query_io_histogram_preserves_spread():
+    from repro.trace.analysis import per_query_io_histogram
+    spans = [make_span(0, True, 1e-3, 4096),
+             make_span(1, False, 1e-3, 0),
+             make_span(2, False, 1e-3, 1 << 20)]
+    hist = per_query_io_histogram(spans)
+    assert hist.count == 3
+    assert hist.mean == pytest.approx((4096 + (1 << 20)) / 3)
+    assert sum(1 for c in hist.counts if c) == 3  # three distinct buckets
+
+
+def test_per_query_io_histogram_empty_raises():
+    from repro.trace.analysis import per_query_io_histogram
+    with pytest.raises(ReproError):
+        per_query_io_histogram([])
+
+
+def test_per_query_volume_from_spans_matches_trace_average():
+    from repro.trace.analysis import per_query_volume_from_spans
+    spans = [make_span(i, False, 1e-3, 4096) for i in range(4)]
+    records = reads(*[(0, 4096 * i, 4096) for i in range(4)])
+    assert (per_query_volume_from_spans(spans)
+            == per_query_volume(records, len(spans)))
+
+
+def test_stage_latency_breakdown_shares_sum_to_one():
+    from repro.trace.analysis import stage_latency_breakdown
+    spans = [make_span(0, True, 3e-3, 0,
+                       stages={"cpu": 2e-3, "device": 1e-3}),
+             make_span(1, False, 1e-3, 0, stages={"cpu": 1e-3})]
+    breakdown = stage_latency_breakdown(spans)
+    assert set(breakdown) == {"cpu", "device"}
+    assert breakdown["cpu"]["total_s"] == pytest.approx(3e-3)
+    assert breakdown["cpu"]["mean_s"] == pytest.approx(1.5e-3)
+    assert sum(entry["share"] for entry in breakdown.values()) == (
+        pytest.approx(1.0))
+
+
+def test_cold_warm_split():
+    from repro.trace.analysis import cold_warm_split
+    spans = [make_span(0, True, 4e-3, 8192),
+             make_span(1, False, 1e-3, 0),
+             make_span(2, False, 3e-3, 4096)]
+    split = cold_warm_split(spans)
+    assert split["cold"]["queries"] == 1
+    assert split["cold"]["mean_read_bytes"] == pytest.approx(8192)
+    assert split["warm"]["queries"] == 2
+    assert split["warm"]["mean_latency_s"] == pytest.approx(2e-3)
+
+
+def test_cold_warm_split_omits_absent_class():
+    from repro.trace.analysis import cold_warm_split
+    split = cold_warm_split([make_span(0, False, 1e-3, 0)])
+    assert "cold" not in split and "warm" in split

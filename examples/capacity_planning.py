@@ -16,7 +16,7 @@ from repro.core.report import format_table
 from repro.data import load_dataset
 from repro.engines import get_profile
 from repro.storage.spec import GiB
-from repro.workload import make_runner
+from repro.api import open_bench
 
 DATASET = "cohere-10m"  # the large proxy: caches cover only ~10%
 
@@ -24,7 +24,7 @@ DATASET = "cohere-10m"  # the large proxy: caches cover only ~10%
 def main() -> None:
     dataset = load_dataset(DATASET)
     spec = dataset.spec
-    runner = make_runner("milvus-diskann", DATASET)
+    runner = open_bench("milvus-diskann", DATASET)
     anchor = runner.run(16, {"search_list": 10}, duration_s=2.0,
                         trace=True)
     profile = get_profile("milvus")

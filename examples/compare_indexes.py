@@ -11,7 +11,7 @@ Run:  python examples/compare_indexes.py
 from repro.core.report import format_table
 from repro.core.tuning import tune_setup
 from repro.data import load_dataset
-from repro.workload import make_runner
+from repro.api import open_bench
 
 DATASET = "openai-500k"
 SETUPS = ("milvus-ivf", "milvus-hnsw", "milvus-diskann")
@@ -25,7 +25,7 @@ def main() -> None:
     rows = []
     for setup in SETUPS:
         tuned = tune_setup(setup, DATASET)
-        runner = make_runner(setup, DATASET)
+        runner = open_bench(setup, DATASET)
         one = runner.run(1, tuned.param_dict, duration_s=1.0)
         many = runner.run(64, tuned.param_dict, duration_s=1.0)
         storage = "storage" if setup == "milvus-diskann" else "memory"

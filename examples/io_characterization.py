@@ -11,13 +11,13 @@ Run:  python examples/io_characterization.py
 from repro.core.report import format_table
 from repro.trace import (bandwidth_series, fraction_at_size,
                          per_query_volume, request_size_histogram)
-from repro.workload import make_runner
+from repro.api import open_bench
 
 DATASET = "cohere-1m"
 
 
 def main() -> None:
-    runner = make_runner("milvus-diskann", DATASET)
+    runner = open_bench("milvus-diskann", DATASET)
     print(f"Milvus-DiskANN on {DATASET} proxy; tracing block requests\n")
 
     rows = []

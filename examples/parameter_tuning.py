@@ -9,14 +9,14 @@ Run:  python examples/parameter_tuning.py
 """
 
 from repro.core.report import format_table
-from repro.workload import make_runner
+from repro.api import open_bench
 
 DATASET = "openai-500k"
 SEARCH_LISTS = (10, 20, 30, 50, 70, 100)
 
 
 def main() -> None:
-    runner = make_runner("milvus-diskann", DATASET)
+    runner = open_bench("milvus-diskann", DATASET)
     print(f"Milvus-DiskANN on {DATASET} proxy, beam_width=4\n")
 
     rows, base = [], None

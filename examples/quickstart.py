@@ -1,16 +1,17 @@
 """Quickstart: a vector database in five minutes.
 
-Creates a Milvus-profile engine, inserts clustered synthetic embeddings
-with payloads, builds an HNSW index, and runs plain, filtered, and
-post-delete searches — the core workflow of every system the paper
-benchmarks.
+Opens a Milvus-profile session through the :mod:`repro.api` facade,
+inserts clustered synthetic embeddings with payloads, builds an HNSW
+index, and runs plain, filtered, and post-delete searches — the core
+workflow of every system the paper benchmarks.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import Filter, IndexSpec, VectorEngine
+from repro import Filter
+from repro.api import open_engine
 from repro.data import make_vectors
 
 
@@ -25,39 +26,37 @@ def main() -> None:
 
     # 2. Create a collection with an HNSW index (M=16, efC=200 — the
     #    paper's build parameters) and load the data.
-    engine = VectorEngine("milvus")
-    engine.create_collection("docs", dim=96,
-                             index_spec=IndexSpec.of("hnsw", M=16,
-                                                     ef_construction=200))
-    engine.insert("docs", vectors, payloads=payloads)
-    engine.flush("docs")   # seal segments and build the index
-    collection = engine.collection("docs")
+    session = open_engine("milvus")
+    session.create("docs", dim=96, index="hnsw", M=16,
+                   ef_construction=200)
+    session.insert("docs", vectors, payloads=payloads, flush=True)
+    collection = session.collection("docs")
     print(f"collection: {collection.num_rows} rows, "
           f"{len(collection.segments)} segment(s), "
           f"{collection.memory_bytes() / 1e6:.1f} MB resident")
 
     # 3. Search: top-5 neighbours of a perturbed database vector.
     query = vectors[123] + rng.standard_normal(96).astype(np.float32) * 0.1
-    response = engine.search("docs", query, k=5, ef_search=32)
-    print(f"top-5 for a noisy copy of row 123: {response.ids.tolist()}")
+    result = session.search("docs", query, k=5, ef_search=32)
+    print(f"top-5 for a noisy copy of row 123: {result.ids.tolist()}")
 
     # 4. Filtered search: only German documents from 2022 onwards.
-    filtered = engine.search(
+    filtered = session.search(
         "docs", query, k=5, ef_search=32,
-        filter_=Filter.where(lang="de").and_(Filter.range("year",
-                                                          low=2022)))
+        filter=Filter.where(lang="de").and_(Filter.range("year",
+                                                         low=2022)))
     print("filtered top-5:", [
         (int(i), collection.payloads.get(int(i))) for i in filtered.ids])
 
     # 5. Delete the best match and search again — it is gone.
-    best = int(response.ids[0])
-    engine.delete("docs", [best])
-    after = engine.search("docs", query, k=5, ef_search=32)
+    best = int(result.ids[0])
+    session.delete("docs", [best])
+    after = session.search("docs", query, k=5, ef_search=32)
     assert best not in after.ids
     print(f"after deleting row {best}: {after.ids.tolist()}")
 
     # 6. Every search also reports the work it performed.
-    work = response.total_work
+    work = result.total_work
     print(f"search work: {work.full_evals} distance evaluations, "
           f"{work.io_requests} disk reads (memory-based index)")
 

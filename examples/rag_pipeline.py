@@ -21,7 +21,8 @@ import numpy as np
 
 import dataclasses
 
-from repro import Filter, IndexSpec, VectorEngine
+from repro import Filter, VectorEngine
+from repro.api import open_engine
 from repro.data import make_vectors
 from repro.engines import milvus_profile
 
@@ -48,15 +49,13 @@ def main() -> None:
     profile = dataclasses.replace(milvus_profile(),
                                   diskann_cache_bytes=1 << 20,
                                   diskann_lru_bytes=1 << 19)
-    engine = VectorEngine(profile)
-    engine.create_collection(
-        "knowledge", DIM,
-        # DiskANN: PQ codes in RAM, graph + full vectors on the SSD.
-        IndexSpec.of("diskann", R=32, L_build=96),
-        storage_dim=768)
-    engine.insert("knowledge", chunks, payloads=payloads)
-    engine.flush("knowledge")
-    collection = engine.collection("knowledge")
+    session = open_engine(profile)
+    # DiskANN: PQ codes in RAM, graph + full vectors on the SSD.
+    session.create("knowledge", DIM, index="diskann", R=32, L_build=96,
+                   storage_dim=768)
+    session.insert("knowledge", chunks, payloads=payloads, flush=True)
+    engine = session.engine
+    collection = session.collection("knowledge")
     index = collection.segments[0].index
     print(f"knowledge base: {collection.num_rows} chunks; "
           f"index resident {index.memory_bytes() / 1e6:.1f} MB, "
@@ -64,31 +63,31 @@ def main() -> None:
 
     # -- retrieval (the RAG query path) -------------------------------------
     question = embed(texts_seed=77, n=1)[0]
-    hits = engine.search("knowledge", question, k=5, search_list=16)
+    hits = session.search("knowledge", question, k=5, search_list=16)
     print("retrieved chunks:", hits.ids.tolist())
     print(f"  ... at the cost of {hits.total_work.io_requests} disk reads "
           f"({hits.total_work.io_bytes // 1024} KiB)")
 
-    manual_only = engine.search("knowledge", question, k=3,
-                                search_list=16,
-                                filter_=Filter.where(source="manual"))
+    manual_only = session.search("knowledge", question, k=3,
+                                 search_list=16,
+                                 filter=Filter.where(source="manual"))
     print("manual-only chunks:",
           [(int(i), collection.payloads.get(int(i))["chunk"])
            for i in manual_only.ids])
 
     # -- knowledge update ----------------------------------------------------
     stale = [int(i) for i in hits.ids[:2]]
-    engine.delete("knowledge", stale)
+    session.delete("knowledge", stale)
     revised = embed(texts_seed=91, n=2)
-    new_ids = engine.insert(
+    new_ids = session.insert(
         "knowledge", revised,
         payloads=[{"source": "wiki", "chunk": c, "version": 2}
                   for c in stale])
     print(f"replaced chunks {stale} with rows {new_ids.tolist()} "
           f"(WAL holds {len(collection.wal)} pending mutations)")
-    engine.flush("knowledge")  # reseal: DiskANN compacts monolithically
+    session.flush("knowledge")  # reseal: DiskANN compacts monolithically
 
-    after = engine.search("knowledge", question, k=5, search_list=16)
+    after = session.search("knowledge", question, k=5, search_list=16)
     assert not set(stale) & set(int(i) for i in after.ids)
     print("post-update retrieval:", after.ids.tolist())
 

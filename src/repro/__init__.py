@@ -14,18 +14,24 @@ Subpackages
 - ``repro.core``     — the study: figures, observation checks, reports.
 """
 
+from repro.api import Session, open_engine
 from repro.data.registry import load_dataset
-from repro.engines.engine import IndexSpec, VectorEngine
+from repro.ann.workprofile import SearchResult
+from repro.engines.engine import IndexSpec, SearchRequest, VectorEngine
 from repro.engines.payload import Filter
 from repro.workload.setup import make_runner
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Filter",
     "IndexSpec",
+    "SearchRequest",
+    "SearchResult",
+    "Session",
     "VectorEngine",
     "__version__",
     "load_dataset",
     "make_runner",
+    "open_engine",
 ]

@@ -33,6 +33,8 @@ from repro.ann.pq import ProductQuantizer
 from repro.ann.vamana import VamanaGraph, build_vamana
 from repro.ann.workprofile import SearchResult, WorkProfile
 from repro.errors import IndexError_
+from repro.prefetch import (CachePolicy, LookaheadPrefetcher, PrefetchStats,
+                            make_policy)
 from repro.storage.spec import PAGE_SIZE
 
 
@@ -125,12 +127,13 @@ class DiskANNIndex(VectorIndex):
         self.codes: np.ndarray | None = None
         self.layout: DiskLayout | None = None
         self._static_cache: frozenset[int] = frozenset()
-        self._lru: "collections.OrderedDict[int, None]" = (
-            collections.OrderedDict())
+        self._policy_name = "lru"
+        self._node_cache: CachePolicy = make_policy("lru", 0)
         self._lru_capacity = 0
         self.static_hits = 0
         self.lru_hits = 0
         self.cache_misses = 0
+        self.prefetch_stats = PrefetchStats()
 
     # -- construction -----------------------------------------------------
 
@@ -178,11 +181,67 @@ class DiskANNIndex(VectorIndex):
                         queue.append(nid)
         self._static_cache = frozenset(cached)
         self._lru_capacity = self.lru_bytes // node_bytes
-        self._lru.clear()
+        self._node_cache = self._make_node_cache(self._policy_name)
+
+    def _make_node_cache(self, policy: str) -> CachePolicy:
+        """The dynamic node cache under *policy* (pins for hotness)."""
+        pinned: tuple[int, ...] = ()
+        if policy == "hotness" and self._lru_capacity > 0:
+            pinned = self._pin_candidates(
+                max(1, self._lru_capacity // 4))
+        return make_policy(policy, self._lru_capacity, pinned)
+
+    def _pin_candidates(self, budget: int) -> tuple[int, ...]:
+        """Entry point + high-degree hubs outside the static cache.
+
+        These are the nodes every traversal crosses; pinning them in
+        the hotness cache keeps them resident across ``drop_caches``.
+        """
+        ranked = [self.graph.medoid] + self.graph.high_degree_nodes(
+            budget + len(self._static_cache) + 1)
+        pinned: list[int] = []
+        for nid in ranked:
+            if nid in self._static_cache or nid in pinned:
+                continue
+            pinned.append(nid)
+            if len(pinned) >= budget:
+                break
+        return tuple(pinned)
+
+    def set_cache_policy(self, policy: str) -> None:
+        """Switch the dynamic node cache's policy (resets its content)."""
+        self._require_built()
+        if policy == self._policy_name:
+            return
+        if policy not in ("lru", "hotness"):
+            raise IndexError_(f"unknown cache policy {policy!r}")
+        self._policy_name = policy
+        self._node_cache = self._make_node_cache(policy)
+
+    @property
+    def cache_policy(self) -> str:
+        """Name of the active dynamic-cache policy."""
+        return self._policy_name
 
     def reset_dynamic_cache(self) -> None:
-        """Empty the LRU node cache (start of a fresh measured run)."""
-        self._lru.clear()
+        """Empty the dynamic node cache (start of a fresh measured run).
+
+        Under the hotness policy, pinned nodes and the frequency memory
+        survive — the profiled-hotness semantics of GoVector: a dropped
+        cache refills hot-first instead of thrashing from scratch.
+        """
+        self._node_cache.clear()
+
+    def __setstate__(self, state: dict) -> None:
+        # Indexes pickled before the policy refactor carry a plain
+        # ``_lru`` OrderedDict; migrate them to an (empty) LRU policy.
+        self.__dict__.update(state)
+        if "_node_cache" not in state:
+            self._policy_name = "lru"
+            self._node_cache = make_policy(
+                "lru", state.get("_lru_capacity", 0))
+        if "prefetch_stats" not in state:
+            self.prefetch_stats = PrefetchStats()
 
     def resize_caches(self, cache_bytes: int, lru_bytes: int) -> None:
         """Re-provision the node caches of a built index.
@@ -202,21 +261,37 @@ class DiskANNIndex(VectorIndex):
     # -- search -----------------------------------------------------------
 
     def search(self, query: np.ndarray, k: int, *, search_list: int = 10,
-               beam_width: int = 4) -> SearchResult:
+               beam_width: int = 4, prefetch_depth: int = 0,
+               cache_policy: str | None = None) -> SearchResult:
         """Beam search with ``search_list`` candidates and I/O accounting.
 
         ``search_list`` is the paper's tunable L (candidate list size),
         ``beam_width`` its W — the number of unvisited candidates whose
         node sectors are fetched in parallel per iteration.
+
+        ``prefetch_depth`` > 0 enables look-ahead prefetching: each
+        round also issues speculative reads for up to that many of the
+        best-ranked unvisited candidates *beyond* the beam — the likely
+        next frontier.  ``cache_policy`` switches the dynamic node
+        cache ("lru" or "hotness") before searching.  Neither parameter
+        changes the traversal: returned ids and distances are
+        bit-identical across all settings.
         """
         self._require_built()
         if search_list < 1 or beam_width < 1:
             raise IndexError_(
                 f"bad params: search_list={search_list} "
                 f"beam_width={beam_width}")
+        if prefetch_depth < 0:
+            raise IndexError_(f"bad prefetch_depth: {prefetch_depth}")
+        if cache_policy is not None:
+            self.set_cache_policy(cache_policy)
         search_list = max(search_list, k)
         query = prepare_query(query, self.metric)
         work = WorkProfile()
+        prefetcher = (LookaheadPrefetcher(prefetch_depth,
+                                          self.prefetch_stats)
+                      if prefetch_depth > 0 else None)
 
         table = self.pq.adc_table(query)
         work.add_cpu(table_builds=1)
@@ -231,28 +306,48 @@ class DiskANNIndex(VectorIndex):
         exact: dict[int, float] = {}
 
         while True:
-            frontier = [nid for _d, nid in candidates
-                        if nid not in visited][:beam_width]
+            unvisited = [nid for _d, nid in candidates
+                         if nid not in visited]
+            frontier = unvisited[:beam_width]
             if not frontier:
                 break
             requests: dict[tuple[int, int], None] = {}
             hits = 0
+            prefetch_hits = 0
             for nid in frontier:
                 visited.add(nid)
                 if nid in self._static_cache:
                     hits += 1
                     self.static_hits += 1
-                elif self._lru_capacity and nid in self._lru:
-                    self._lru.move_to_end(nid)
+                elif nid in self._node_cache:
+                    self._node_cache.touch(nid)
                     hits += 1
                     self.lru_hits += 1
+                elif prefetcher is not None and prefetcher.consume(nid):
+                    # Landed (or landing) speculatively: no demand read,
+                    # but the round must join the in-flight speculation.
+                    prefetch_hits += 1
+                    self._node_cache.admit(nid)
                 else:
                     self.cache_misses += 1
                     for request in self.layout.node_requests(nid):
                         requests[request] = None
-                    self._lru_insert(nid)
-            if requests or hits:
-                work.add_io(list(requests), cache_hits=hits)
+                    self._node_cache.admit(nid)
+            if prefetch_hits:
+                work.add_prefetch_join()
+            if prefetcher is not None:
+                speculated = prefetcher.plan(
+                    unvisited[beam_width:],
+                    lambda nid: (nid in self._static_cache
+                                 or nid in self._node_cache))
+                speculative: dict[tuple[int, int], None] = {}
+                for nid in speculated:
+                    for request in self.layout.node_requests(nid):
+                        speculative[request] = None
+                work.add_prefetch(list(speculative))
+            if requests or hits or prefetch_hits:
+                work.add_io(list(requests), cache_hits=hits,
+                            prefetch_hits=prefetch_hits)
 
             # Full-precision distances of the fetched nodes (their raw
             # vectors arrived with the sectors) — DiskANN's re-ranking.
@@ -281,15 +376,11 @@ class DiskANNIndex(VectorIndex):
         best = sorted(exact.items(), key=lambda item: item[1])[:k]
         ids = np.asarray([nid for nid, _d in best], dtype=np.int64)
         dists = np.asarray([d for _nid, d in best], dtype=np.float32)
+        if prefetcher is not None:
+            work.prefetch_wasted = prefetcher.finish()
+            work.prefetch_issued = (work.prefetch_hits
+                                    + work.prefetch_wasted)
         return SearchResult(ids=ids, work=work, dists=dists)
-
-    def _lru_insert(self, node: int) -> None:
-        if self._lru_capacity <= 0:
-            return
-        self._lru[node] = None
-        self._lru.move_to_end(node)
-        while len(self._lru) > self._lru_capacity:
-            self._lru.popitem(last=False)
 
     # -- footprints --------------------------------------------------------
 
@@ -305,7 +396,7 @@ class DiskANNIndex(VectorIndex):
         self._require_built()
         total = self.codes.nbytes + self.pq.codebooks.nbytes
         total += len(self._static_cache) * self.layout.node_bytes
-        total += len(self._lru) * self.layout.node_bytes
+        total += len(self._node_cache) * self.layout.node_bytes
         return total
 
     @property
@@ -315,10 +406,14 @@ class DiskANNIndex(VectorIndex):
         return self._lru_capacity * self.layout.node_bytes
 
     def cache_stats(self) -> dict[str, int]:
-        """Cumulative node-cache counters (telemetry snapshot)."""
+        """Cumulative node-cache + prefetch counters (telemetry)."""
+        stats = self.prefetch_stats
         return {"static_hits": self.static_hits,
                 "lru_hits": self.lru_hits,
-                "misses": self.cache_misses}
+                "misses": self.cache_misses,
+                "prefetch_issued": stats.issued,
+                "prefetch_useful": stats.useful,
+                "prefetch_wasted": stats.wasted}
 
     def disk_bytes(self) -> int:
         self._require_built()

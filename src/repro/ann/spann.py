@@ -32,6 +32,7 @@ from repro.ann.hnsw import HNSWIndex
 from repro.ann.kmeans import kmeans
 from repro.ann.workprofile import SearchResult, WorkProfile
 from repro.errors import IndexError_
+from repro.prefetch import CachePolicy, make_policy
 from repro.storage.spec import PAGE_SIZE
 
 
@@ -45,6 +46,7 @@ class SPANNIndex(VectorIndex):
                  max_replicas: int = 8, closure_eps: float = 0.15,
                  storage_dim: int | None = None,
                  centroid_ef_construction: int = 100,
+                 list_cache_bytes: int = 0, cache_policy: str = "hotness",
                  seed: int = 0) -> None:
         """
         Args:
@@ -54,17 +56,26 @@ class SPANNIndex(VectorIndex):
             closure_eps: a vector replicates into clusters whose
                 centroid distance is within (1+eps) of its nearest.
             storage_dim: nominal on-disk dimensionality.
+            list_cache_bytes: memory budget for caching hot posting
+                lists (0 disables); probes of cached cells cost no I/O.
+            cache_policy: admission/eviction policy of the list cache
+                ("hotness" keeps the most-probed cells resident).
         """
         if max_replicas < 1 or closure_eps < 0:
             raise IndexError_(
                 f"bad SPANN params: replicas={max_replicas} "
                 f"eps={closure_eps}")
+        if list_cache_bytes < 0:
+            raise IndexError_(
+                f"negative list cache budget: {list_cache_bytes}")
         super().__init__(metric)
         self.n_postings = n_postings
         self.max_replicas = max_replicas
         self.closure_eps = closure_eps
         self.storage_dim = storage_dim
         self.centroid_ef_construction = centroid_ef_construction
+        self.list_cache_bytes = list_cache_bytes
+        self.cache_policy = cache_policy
         self.seed = seed
         self.centroids: np.ndarray | None = None
         self.centroid_index: HNSWIndex | None = None
@@ -74,6 +85,9 @@ class SPANNIndex(VectorIndex):
         self._extents: list[tuple[int, int]] = []
         self._disk_bytes = 0
         self._replicas = 0
+        self._list_cache: CachePolicy = make_policy("lru", 0)
+        self.list_hits = 0
+        self.list_misses = 0
 
     # -- construction -----------------------------------------------------
 
@@ -124,8 +138,46 @@ class SPANNIndex(VectorIndex):
             self._extents.append((offset, size))
             offset += size
         self._disk_bytes = offset
+        self._build_list_cache()
         self._built = True
         return self
+
+    def _build_list_cache(self) -> None:
+        """Size the hot posting-list cache in whole-extent entries.
+
+        Extents vary in size, so the byte budget is converted to an
+        entry capacity using the mean extent size — an approximation
+        that keeps the policy layer byte-agnostic.
+        """
+        if self.list_cache_bytes <= 0 or not self._extents:
+            self._list_cache = make_policy("lru", 0)
+            self._mean_extent = 0
+            return
+        self._mean_extent = max(PAGE_SIZE,
+                                self._disk_bytes // len(self._extents))
+        capacity = self.list_cache_bytes // self._mean_extent
+        self._list_cache = make_policy(self.cache_policy, capacity)
+
+    def reset_dynamic_cache(self) -> None:
+        """Drop the posting-list cache (pre-run ``drop_caches``)."""
+        self._list_cache.clear()
+
+    def __setstate__(self, state: dict) -> None:
+        # Indexes pickled before the list cache existed get a disabled
+        # one (the old behaviour: every probe reads its extent).
+        self.__dict__.update(state)
+        if "_list_cache" not in state:
+            self.list_cache_bytes = 0
+            self.cache_policy = "hotness"
+            self._list_cache = make_policy("lru", 0)
+            self._mean_extent = 0
+            self.list_hits = 0
+            self.list_misses = 0
+
+    def cache_stats(self) -> dict[str, int]:
+        """Cumulative posting-list cache counters (telemetry)."""
+        return {"list_hits": self.list_hits,
+                "misses": self.list_misses}
 
     def _prepare_centroids(self) -> np.ndarray:
         # Centroids of l2n-prepared data are not unit vectors; index
@@ -156,7 +208,17 @@ class SPANNIndex(VectorIndex):
         keep = [int(cell) for cell, d in zip(selected, dists)
                 if float(d) <= (1.0 + prune_eps) ** 2 * max(closest, 1e-12)]
 
-        work.add_io([self._extents[cell] for cell in keep])
+        requests, hits = [], 0
+        for cell in keep:
+            if cell in self._list_cache:
+                self._list_cache.touch(cell)
+                self.list_hits += 1
+                hits += 1
+            else:
+                self.list_misses += 1
+                requests.append(self._extents[cell])
+                self._list_cache.admit(cell)
+        work.add_io(requests, cache_hits=hits)
 
         kernel = make_kernel(self._X, self._imetric)
         best: dict[int, float] = {}
@@ -182,7 +244,8 @@ class SPANNIndex(VectorIndex):
     def memory_bytes(self) -> int:
         self._require_built()
         return int(self.centroids.nbytes
-                   + self.centroid_index.memory_bytes())
+                   + self.centroid_index.memory_bytes()
+                   + len(self._list_cache) * self._mean_extent)
 
     def disk_bytes(self) -> int:
         self._require_built()

@@ -54,6 +54,22 @@ class VamanaGraph:
         degrees = [len(nbrs) for nbrs in self.neighbors]
         return float(np.mean(degrees)), int(np.max(degrees))
 
+    def high_degree_nodes(self, count: int) -> list[int]:
+        """The *count* best-connected nodes (in+out degree, desc).
+
+        High in-degree hubs are the traversal magnets every beam search
+        crosses; the hotness cache pins them so they survive cache
+        drops.  Ties break on node id for determinism.
+        """
+        if count <= 0:
+            return []
+        degree = np.zeros(self.n, dtype=np.int64)
+        for node, nbrs in enumerate(self.neighbors):
+            degree[node] += len(nbrs)
+            degree[nbrs] += 1
+        order = np.lexsort((np.arange(self.n), -degree))
+        return [int(nid) for nid in order[:count]]
+
 
 def greedy_search(neighbors: list[np.ndarray], kernel: Kernel, start: int,
                   query: np.ndarray,

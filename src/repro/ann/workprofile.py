@@ -38,14 +38,34 @@ class IoStep:
     *requests* hold (offset, size) pairs relative to the index file;
     *cache_hits* counts node fetches served from the index's own node
     cache (they consume no device time but are part of the algorithm's
-    footprint accounting).
+    footprint accounting).  *prefetch_hits* counts fetches served from
+    the speculative prefetch buffer: they issue no demand read, but the
+    round must first **join** the in-flight speculative reads (the
+    runner waits on their events before this round's compute).
     """
 
     requests: tuple[tuple[int, int], ...]
     cache_hits: int = 0
+    prefetch_hits: int = 0
 
 
-Step = t.Union[CpuStep, IoStep]
+@dataclasses.dataclass(frozen=True)
+class PrefetchStep:
+    """Speculative reads issued without blocking the traversal.
+
+    With ``join`` False the runner submits *requests* to the device and
+    continues immediately; the completion events overlap the demand beam
+    issued right after and the CPU between rounds.  A step with ``join``
+    True is a barrier instead: the round that follows consumes
+    prefetched data, so the runner first waits for every speculative
+    read still in flight (usually already landed — the overlap win).
+    """
+
+    requests: tuple[tuple[int, int], ...] = ()
+    join: bool = False
+
+
+Step = t.Union[CpuStep, IoStep, PrefetchStep]
 
 
 @dataclasses.dataclass
@@ -53,6 +73,11 @@ class WorkProfile:
     """The full work trace of a single-query search."""
 
     steps: list[Step] = dataclasses.field(default_factory=list)
+    #: Speculative node reads issued / never consumed (look-ahead
+    #: prefetching); ``prefetch_hits`` on the IoSteps count the useful
+    #: ones, so ``wasted == issued - useful`` holds per profile.
+    prefetch_issued: int = 0
+    prefetch_wasted: int = 0
 
     def add_cpu(self, full_evals: int = 0, pq_evals: int = 0,
                 table_builds: int = 0) -> None:
@@ -67,9 +92,19 @@ class WorkProfile:
             self.steps.append(CpuStep(full_evals, pq_evals, table_builds))
 
     def add_io(self, requests: t.Sequence[tuple[int, int]],
-               cache_hits: int = 0) -> None:
+               cache_hits: int = 0, prefetch_hits: int = 0) -> None:
         """Append one dependent round of parallel reads."""
-        self.steps.append(IoStep(tuple(requests), cache_hits))
+        self.steps.append(IoStep(tuple(requests), cache_hits,
+                                 prefetch_hits))
+
+    def add_prefetch(self, requests: t.Sequence[tuple[int, int]]) -> None:
+        """Append one batch of speculative (non-blocking) reads."""
+        if requests:
+            self.steps.append(PrefetchStep(tuple(requests)))
+
+    def add_prefetch_join(self) -> None:
+        """Append a barrier on all in-flight speculative reads."""
+        self.steps.append(PrefetchStep(join=True))
 
     # -- aggregate views used by tests and analysis ----------------------
 
@@ -107,10 +142,32 @@ class WorkProfile:
         return sum(s.cache_hits for s in self.steps
                    if isinstance(s, IoStep))
 
+    @property
+    def prefetch_hits(self) -> int:
+        """Node fetches served from the speculative prefetch buffer."""
+        return sum(s.prefetch_hits for s in self.steps
+                   if isinstance(s, IoStep))
+
+    @property
+    def prefetch_requests(self) -> int:
+        return sum(len(s.requests) for s in self.steps
+                   if isinstance(s, PrefetchStep))
+
+    @property
+    def prefetch_bytes(self) -> int:
+        """Bytes of speculative reads (not included in io_bytes)."""
+        return sum(size for s in self.steps if isinstance(s, PrefetchStep)
+                   for _off, size in s.requests)
+
 
 @dataclasses.dataclass
 class SearchResult:
-    """Ids returned by a search, their distances, and the work done.
+    """The unified result shape of every search layer.
+
+    Index-, collection-, and engine-level searches all return this:
+    ids, distances, and the work profile that produced them, plus —
+    for collection-level searches — the per-segment profile list and,
+    when telemetry is attached, the query's span.
 
     ``dists`` are in the index's internal metric units — comparable
     across results of indexes built with the same metric, which is what
@@ -120,3 +177,24 @@ class SearchResult:
     ids: t.Any                    # np.ndarray of int64
     work: WorkProfile
     dists: t.Any = None           # np.ndarray of float32, or None
+    #: One work profile per searched segment (plus the growing buffer);
+    #: None at the single-index level, where ``work`` is the only one.
+    works: list[WorkProfile] | None = None
+    #: Optional :class:`~repro.obs.QuerySpan` attributing time and I/O.
+    span: t.Any = None
+
+    @property
+    def distances(self) -> t.Any:
+        """Alias of ``dists`` (the public spelling)."""
+        return self.dists
+
+    @property
+    def total_work(self) -> WorkProfile:
+        """All steps over every searched segment, merged."""
+        sources = self.works if self.works is not None else [self.work]
+        merged = WorkProfile()
+        for work in sources:
+            merged.steps.extend(work.steps)
+            merged.prefetch_issued += work.prefetch_issued
+            merged.prefetch_wasted += work.prefetch_wasted
+        return merged

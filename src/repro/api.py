@@ -1,0 +1,156 @@
+"""The one-import facade over the engine and benchmark layers.
+
+Everything the examples and CLI need, behind four verbs::
+
+    from repro.api import open_engine
+
+    session = open_engine("milvus")
+    session.create("docs", dim=64, index="diskann")
+    session.insert("docs", vectors)
+    result = session.search("docs", query, k=10, search_list=20)
+    run = session.run_bench("docs", queries, concurrency=8)
+
+A :class:`Session` wraps one :class:`~repro.engines.VectorEngine`; the
+underlying layers (``session.engine``, collection objects,
+:class:`~repro.workload.runner.BenchRunner`) stay reachable for
+anything the facade does not cover.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.engines.engine import (Collection, IndexSpec, SearchRequest,
+                                  VectorEngine)
+from repro.engines.payload import Filter, Payload
+from repro.engines.profiles import EngineProfile
+from repro.obs import RunTelemetry
+from repro.workload.metrics import RunResult
+from repro.workload.runner import BenchRunner, WriteLoad
+
+if t.TYPE_CHECKING:
+    from repro.ann.workprofile import SearchResult
+
+
+def open_engine(profile: EngineProfile | str = "milvus",
+                seed: int = 0) -> "Session":
+    """A :class:`Session` over a fresh engine with *profile*.
+
+    *profile* is an engine name (``"milvus"``, ``"qdrant"``,
+    ``"weaviate"``, ``"lancedb"``) or an
+    :class:`~repro.engines.EngineProfile`.
+    """
+    return Session(VectorEngine(profile, seed=seed))
+
+
+def open_bench(setup: str, dataset: str,
+               scale: str | None = None) -> BenchRunner:
+    """A ready benchmark runner for one of the paper's seven setups.
+
+    Loads (or generates) the proxy dataset, prepares the indexed
+    collection (cached in the index store), and returns the
+    :class:`~repro.workload.runner.BenchRunner` over it — the paper's
+    measurement harness in one call.
+    """
+    from repro.workload.setup import make_runner
+    return make_runner(setup, dataset, scale)
+
+
+class Session:
+    """All common operations of one engine, in facade form."""
+
+    def __init__(self, engine: VectorEngine) -> None:
+        self.engine = engine
+
+    @property
+    def profile(self) -> EngineProfile:
+        return self.engine.profile
+
+    # -- collection lifecycle ---------------------------------------------
+
+    def create(self, name: str, dim: int, index: str | IndexSpec = "hnsw",
+               metric: str = "cosine", storage_dim: int | None = None,
+               **index_params: t.Any) -> Collection:
+        """Create a collection; index params are validated eagerly.
+
+        *index* is an index kind (``"hnsw"``, ``"diskann"``, ...) plus
+        keyword parameters, or a ready :class:`~repro.engines.IndexSpec`
+        (in which case *metric*/params must be left at defaults).
+        """
+        if isinstance(index, IndexSpec):
+            spec = index
+        else:
+            spec = IndexSpec.of(index, metric, **index_params)
+        return self.engine.create_collection(name, dim, spec,
+                                             storage_dim=storage_dim)
+
+    def drop(self, name: str) -> None:
+        self.engine.drop_collection(name)
+
+    def collection(self, name: str) -> Collection:
+        return self.engine.collection(name)
+
+    def collections(self) -> list[str]:
+        return self.engine.list_collections()
+
+    # -- data plane -------------------------------------------------------
+
+    def insert(self, name: str, vectors: np.ndarray,
+               payloads: t.Sequence[Payload | None] | None = None,
+               flush: bool = False) -> np.ndarray:
+        """Append vectors; ``flush=True`` seals and indexes right away."""
+        ids = self.engine.insert(name, vectors, payloads)
+        if flush:
+            self.engine.flush(name)
+        return ids
+
+    def flush(self, name: str) -> None:
+        self.engine.flush(name)
+
+    def delete(self, name: str, row_ids: t.Iterable[int]) -> int:
+        return self.engine.delete(name, row_ids)
+
+    # -- search -----------------------------------------------------------
+
+    def search(self, name: str, query: t.Any, k: int = 10, *,
+               filter: Filter | None = None,
+               **params: t.Any) -> "SearchResult":
+        """Top-k search; *query* may also be a
+        :class:`~repro.engines.SearchRequest` (then *k*/params must be
+        left at defaults)."""
+        if isinstance(query, SearchRequest):
+            return self.engine.execute(name, query)
+        return self.engine.search(name, query, k, filter_=filter, **params)
+
+    # -- benchmarking -----------------------------------------------------
+
+    def run_bench(self, name: str, queries: np.ndarray, *,
+                  ground_truth: np.ndarray | None = None,
+                  concurrency: int = 1, k: int = 10,
+                  search_params: dict[str, t.Any] | None = None,
+                  duration_s: float = 4.0,
+                  telemetry: RunTelemetry | bool | None = None,
+                  write_load: WriteLoad | None = None,
+                  paper_n: int | None = None) -> RunResult:
+        """One measured closed-loop run over a collection.
+
+        Thin wrapper over :class:`~repro.workload.runner.BenchRunner`;
+        build the runner directly for sweeps that should reuse its
+        compiled plans across concurrency levels.
+        """
+        runner = self.bench_runner(name, queries,
+                                   ground_truth=ground_truth, k=k,
+                                   paper_n=paper_n)
+        return runner.run(concurrency, search_params=search_params,
+                          duration_s=duration_s, telemetry=telemetry,
+                          write_load=write_load)
+
+    def bench_runner(self, name: str, queries: np.ndarray, *,
+                     ground_truth: np.ndarray | None = None, k: int = 10,
+                     paper_n: int | None = None) -> BenchRunner:
+        """A reusable runner over one collection (plans are cached)."""
+        return BenchRunner(self.engine, name, queries,
+                           ground_truth=ground_truth, k=k,
+                           paper_n=paper_n)

@@ -6,6 +6,7 @@ Examples::
     repro table2                   # tuned parameters + recall
     repro sweep -s milvus-hnsw -d cohere-1m
     repro figure 2                 # any of 2..15
+    repro prefetch -d cohere-1m    # cache-policy + prefetch study
     repro study -o report.txt      # everything, with observation checks
     repro prebuild                 # build & cache all collections
 """
@@ -16,12 +17,13 @@ import argparse
 import sys
 import typing as t
 
+from repro.api import open_bench
 from repro.core import figures, report
 from repro.core.study import run_study
 from repro.core.tuning import tune_setup
 from repro.data.spec import DATASET_NAMES, current_scale
 from repro.obs import write_prometheus, write_spans_jsonl
-from repro.workload.setup import SETUPS, make_runner
+from repro.workload.setup import SETUPS
 
 
 def _parse_ints(text: str) -> tuple[int, ...]:
@@ -127,6 +129,14 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_prefetch(args: argparse.Namespace) -> int:
+    data = figures.prefetch_comparison(
+        args.dataset, beam_widths=args.beams,
+        search_list=args.search_list, concurrency=args.threads)
+    print(report.render_prefetch_comparison(data))
+    return 0
+
+
 def cmd_study(args: argparse.Namespace) -> int:
     results = run_study(datasets=args.datasets,
                         progress=lambda m: print(f"[study] {m}",
@@ -152,7 +162,7 @@ def cmd_prebuild(args: argparse.Namespace) -> int:
         for setup in SETUPS:
             print(f"building {setup} on {dataset} "
                   f"(scale={current_scale()})...", file=sys.stderr)
-            make_runner(setup, dataset)
+            open_bench(setup, dataset)
     print("all collections built and cached", file=sys.stderr)
     return 0
 
@@ -201,6 +211,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prom", default=None, metavar="PATH",
                    help="write Prometheus text-format metrics")
     p.set_defaults(fn=cmd_telemetry)
+
+    p = sub.add_parser(
+        "prefetch",
+        help="cache-policy + look-ahead prefetch study (beyond the paper)")
+    p.add_argument("-d", "--dataset", required=True, choices=DATASET_NAMES)
+    p.add_argument("--beams", type=_parse_ints,
+                   default=figures.PREFETCH_BEAMS,
+                   help="beam_width axis (default 1,2,4,8)")
+    p.add_argument("--search-list", type=int, default=50)
+    p.add_argument("--threads", type=int, default=4)
+    p.set_defaults(fn=cmd_prefetch)
 
     p = sub.add_parser("study", help="run the whole evaluation")
     p.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),

@@ -295,6 +295,67 @@ def fig12_to_15_data(datasets: t.Sequence[str] = DATASET_NAMES,
     return data
 
 
+# -- Prefetch & cache-policy study (beyond the paper) ---------------------------
+
+#: The beam_width axis of the prefetch study (direct beam sizes, not
+#: Milvus BeamWidthRatio units — small beams are where look-ahead can
+#: overlap device time with CPU).
+PREFETCH_BEAMS = (1, 2, 4, 8)
+
+
+def prefetch_comparison(dataset: str,
+                        beam_widths: t.Sequence[int] = PREFETCH_BEAMS,
+                        search_list: int = 50,
+                        concurrency: int = 4) -> dict:
+    """LRU vs hotness vs hotness + look-ahead prefetch on Milvus-DiskANN.
+
+    Runs the Figure-7 setup (milvus-diskann) across ``beam_widths`` at a
+    fixed ``search_list`` under three cache/prefetch configurations:
+
+    - ``lru``        — LRU node cache, no prefetching (the baseline);
+    - ``hotness``    — frequency-weighted node cache with pinned
+      entry-point/hub nodes, no prefetching;
+    - ``hotness+pf`` — hotness cache plus look-ahead prefetching with
+      ``prefetch_depth = max(1, beam_width // 2)``: speculating half a
+      beam ahead keeps the hit rate high; deeper speculation trades
+      read-byte waste for no extra overlap.
+
+    Prefetching and the cache policy are speculative-I/O-only knobs:
+    returned ids/distances — and therefore recall@10 — are identical in
+    every configuration (the table shows it).  What changes is the I/O
+    schedule: per-query device reads, tail latency, and the
+    prefetcher's hit/waste rates.
+    """
+    runner = get_runner("milvus-diskann", dataset)
+    data: dict[str, t.Any] = {
+        "dataset": dataset,
+        "search_list": search_list,
+        "configs": ["lru", "hotness", "hotness+pf"],
+        "rows": {},
+    }
+    for width in beam_widths:
+        per_config: dict[str, dict] = {}
+        for label in data["configs"]:
+            policy = "lru" if label == "lru" else "hotness"
+            depth = max(1, width // 2) if label == "hotness+pf" else 0
+            result = runner.run(concurrency, {
+                "search_list": search_list, "beam_width": width,
+                "cache_policy": policy, "prefetch_depth": depth},
+                telemetry=True)
+            telemetry = result.telemetry
+            assert telemetry is not None
+            per_config[label] = {
+                "qps": result.qps,
+                "p99_us": result.p99_latency_s * 1e6,
+                "recall": result.recall,
+                "per_query_kib": result.per_query_read_bytes / 1024,
+                "prefetch_hit_rate": telemetry.prefetch_hit_rate,
+                "wasted_read_ratio": telemetry.wasted_read_ratio,
+            }
+        data["rows"][width] = per_config
+    return data
+
+
 def clear_caches() -> None:
     """Drop in-process runner and sweep caches (tests use this)."""
     _runner_cache.clear()

@@ -97,6 +97,26 @@ def render_beamwidth_sweep(fig12_15: dict) -> str:
     return "\n\n".join(blocks)
 
 
+def render_prefetch_comparison(data: dict) -> str:
+    """Table for the cache-policy/prefetch study (beyond the paper)."""
+    headers = ["beam", "config", "qps", "p99 us", "KiB/query",
+               "recall@10", "pf hit", "wasted"]
+    rows = []
+    for width, per_config in data["rows"].items():
+        for label in data["configs"]:
+            entry = per_config[label]
+            rows.append([
+                width, label, _fmt(entry["qps"], 0),
+                _fmt(entry["p99_us"], 0),
+                _fmt(entry["per_query_kib"], 1),
+                _fmt(entry["recall"], 3),
+                f"{entry['prefetch_hit_rate']:.2f}",
+                f"{entry['wasted_read_ratio']:.3f}"])
+    return (f"[{data['dataset']}] milvus-diskann, "
+            f"search_list={data['search_list']}\n"
+            + format_table(headers, rows))
+
+
 def render_fig5(fig5: dict) -> str:
     blocks = []
     for dataset, entry in fig5["datasets"].items():
@@ -175,6 +195,13 @@ def render_telemetry(telemetry: RunTelemetry) -> str:
                 for name, counter in sorted(telemetry.counters.items())]
         sections.append("== Counters\n" + format_table(
             ["counter", "value"], rows))
+    if spans or telemetry.counters:
+        issued = telemetry.counters.get("prefetch_issued")
+        sections.append("== Prefetch\n" + format_table(
+            ["metric", "value"],
+            [["speculative reads issued", issued.value if issued else 0],
+             ["prefetch hit rate", f"{telemetry.prefetch_hit_rate:.3f}"],
+             ["wasted read ratio", f"{telemetry.wasted_read_ratio:.4f}"]]))
     if telemetry.queue_depth:
         rows = [[resource, hist.count, f"{hist.mean:.2f}",
                  f"{hist.quantile(0.99):.0f}"]

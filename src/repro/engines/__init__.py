@@ -6,10 +6,16 @@ segments, index building, merged search) parameterized by calibrated
 systems.
 """
 
+from repro.ann.workprofile import SearchResult
 from repro.engines.costmodel import CostModel
 from repro.engines.engine import (INDEX_KINDS, Collection, IndexSpec,
-                                  SearchResponse, VectorEngine, build_index)
+                                  SearchRequest, SearchResponse,
+                                  VectorEngine, build_index, merge_works)
 from repro.engines.mmap import MmapHNSWIndex, wrap_mmap
+from repro.engines.params import (PARAM_TYPES, DiskANNParams, FlatParams,
+                                  HNSWMmapParams, HNSWParams, HNSWSQParams,
+                                  IndexParams, IVFParams, IVFPQParams,
+                                  SPANNParams, make_params)
 from repro.engines.payload import Filter, PayloadStore, Predicate
 from repro.engines.profiles import (ENGINE_NAMES, PAPER_CPU_CORES,
                                     EngineProfile, get_profile,
@@ -21,27 +27,41 @@ from repro.engines.wal import WalEntry, WriteAheadLog
 __all__ = [
     "Collection",
     "CostModel",
+    "DiskANNParams",
     "ENGINE_NAMES",
     "EngineProfile",
     "Filter",
+    "FlatParams",
     "GrowingBuffer",
+    "HNSWMmapParams",
+    "HNSWParams",
+    "HNSWSQParams",
     "INDEX_KINDS",
-    "MmapHNSWIndex",
+    "IVFPQParams",
+    "IVFParams",
+    "IndexParams",
     "IndexSpec",
+    "MmapHNSWIndex",
     "PAPER_CPU_CORES",
+    "PARAM_TYPES",
     "PayloadStore",
     "Predicate",
+    "SPANNParams",
+    "SearchRequest",
     "SearchResponse",
+    "SearchResult",
     "Segment",
     "VectorEngine",
     "WalEntry",
     "WriteAheadLog",
     "build_index",
-    "wrap_mmap",
     "get_profile",
     "lancedb_profile",
+    "make_params",
+    "merge_works",
     "milvus_profile",
     "plan_segments",
     "qdrant_profile",
     "weaviate_profile",
+    "wrap_mmap",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.ann.workprofile import CpuStep, IoStep, WorkProfile
+from repro.ann.workprofile import CpuStep, IoStep, PrefetchStep, WorkProfile
 from repro.errors import EngineError
 
 #: Seconds per dimension for one full-precision distance evaluation.
@@ -60,12 +60,24 @@ class CostModel:
         seconds = HOP_OVERHEAD_S + len(step.requests) * IO_SUBMIT_S
         return seconds * self.cpu_factor
 
+    def prefetch_step_cpu_seconds(self, step: PrefetchStep) -> float:
+        """CPU time of one speculative issue (joins are free on-CPU).
+
+        Speculative reads piggyback on the demand round's reactor
+        wake-up, so they pay per-request submission cost but no
+        ``HOP_OVERHEAD_S``; the join barrier only waits, it computes
+        nothing.
+        """
+        return len(step.requests) * IO_SUBMIT_S * self.cpu_factor
+
     def profile_cpu_seconds(self, work: WorkProfile) -> float:
         """Total CPU seconds of a profile (excluding device time)."""
         total = 0.0
         for step in work.steps:
             if isinstance(step, CpuStep):
                 total += self.cpu_step_seconds(step)
+            elif isinstance(step, PrefetchStep):
+                total += self.prefetch_step_cpu_seconds(step)
             else:
                 total += self.io_step_cpu_seconds(step)
         return total

@@ -15,6 +15,7 @@ from __future__ import annotations
 import dataclasses
 import pickle
 import typing as t
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -26,7 +27,10 @@ from repro.ann.hnsw import HNSWIndex
 from repro.ann.ivf import IVFIndex
 from repro.ann.pq import ProductQuantizer
 from repro.ann.sq import ScalarQuantizer
-from repro.ann.workprofile import WorkProfile
+from repro.ann.workprofile import SearchResult, WorkProfile
+from repro.engines.params import (DiskANNParams, HNSWMmapParams, HNSWParams,
+                                  IndexParams, IVFParams, IVFPQParams,
+                                  SPANNParams, coerce_params, make_params)
 from repro.engines.payload import Filter, Payload, PayloadStore
 from repro.engines.profiles import EngineProfile, get_profile
 from repro.engines.segments import GrowingBuffer, Segment, plan_segments
@@ -40,100 +44,167 @@ INDEX_KINDS = ("flat", "ivf", "hnsw", "diskann", "ivf-pq", "hnsw-sq",
 
 @dataclasses.dataclass(frozen=True)
 class IndexSpec:
-    """What index a collection builds over its sealed segments."""
+    """What index a collection builds over its sealed segments.
+
+    ``params`` is the typed parameter object of the kind (see
+    :mod:`repro.engines.params`); legacy encodings — a dict or the old
+    sorted tuple of ``(name, value)`` pairs — are converted and
+    validated on construction.
+    """
 
     kind: str
     metric: str = "cosine"
-    params: tuple[tuple[str, t.Any], ...] = ()
+    params: IndexParams | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in INDEX_KINDS:
             raise EngineError(
                 f"unknown index kind {self.kind!r}; one of {INDEX_KINDS}")
+        object.__setattr__(self, "params",
+                           coerce_params(self.kind, self.params))
 
     @classmethod
     def of(cls, kind: str, metric: str = "cosine",
            **params: t.Any) -> "IndexSpec":
-        return cls(kind, metric, tuple(sorted(params.items())))
+        return cls(kind, metric, make_params(kind, **params))
+
+    @property
+    def param_dict(self) -> dict[str, t.Any]:
+        """All build parameters (defaults included) as a plain dict."""
+        return self.params.as_dict()
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchRequest:
+    """A typed search call: what to look for and how.
+
+    The keyword-argument spelling ``collection.search(q, k, **params)``
+    stays available; a request object is the hashable, serializable
+    form used by the :mod:`repro.api` facade and batch drivers.
+    """
+
+    query: t.Any                   # np.ndarray (1D)
+    k: int = 10
+    filter: Filter | None = None
+    #: Search-time parameters (ef_search, search_list, beam_width,
+    #: nprobe, prefetch_depth, cache_policy, ...), index-kind specific.
+    params: tuple[tuple[str, t.Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise EngineError(f"k must be positive: {self.k}")
+        if not isinstance(self.params, tuple):
+            object.__setattr__(self, "params",
+                               tuple(sorted(dict(self.params).items())))
+
+    @classmethod
+    def of(cls, query: t.Any, k: int = 10, filter: Filter | None = None,
+           **params: t.Any) -> "SearchRequest":
+        return cls(query, k, filter, tuple(sorted(params.items())))
 
     @property
     def param_dict(self) -> dict[str, t.Any]:
         return dict(self.params)
 
 
-@dataclasses.dataclass
-class SearchResponse:
-    """Merged search output plus the work that produced it."""
+class SearchResponse(SearchResult):
+    """Deprecated: the pre-unification search return shape.
 
-    ids: np.ndarray
-    dists: np.ndarray
-    #: One work profile per searched segment (plus the growing buffer).
-    works: list[WorkProfile]
+    Collection- and engine-level searches now return
+    :class:`~repro.ann.workprofile.SearchResult` (which carries the
+    same ``ids`` / ``dists`` / ``works`` / ``total_work`` surface, plus
+    ``work`` and ``span``).  Constructing a ``SearchResponse`` still
+    works and yields that shape, with a :class:`DeprecationWarning`.
+    """
 
-    @property
-    def total_work(self) -> WorkProfile:
-        merged = WorkProfile()
-        for work in self.works:
-            merged.steps.extend(work.steps)
-        return merged
+    def __init__(self, ids: np.ndarray, dists: np.ndarray = None,
+                 works: list[WorkProfile] | None = None) -> None:
+        warnings.warn(
+            "SearchResponse is deprecated; searches return SearchResult "
+            "(same fields plus .work/.span)", DeprecationWarning,
+            stacklevel=2)
+        works = list(works) if works is not None else []
+        super().__init__(ids=ids, work=merge_works(works), dists=dists,
+                         works=works)
+
+
+def merge_works(works: t.Sequence[WorkProfile]) -> WorkProfile:
+    """One profile holding every step (and prefetch counter) of *works*."""
+    merged = WorkProfile()
+    for work in works:
+        merged.steps.extend(work.steps)
+        merged.prefetch_issued += work.prefetch_issued
+        merged.prefetch_wasted += work.prefetch_wasted
+    return merged
 
 
 def build_index(spec: IndexSpec, vectors: np.ndarray, storage_dim: int,
                 profile: EngineProfile, seed: int = 0) -> VectorIndex:
     """Construct the index a spec describes over *vectors*."""
-    params = spec.param_dict
+    params = spec.params
     dim = vectors.shape[1]
     if spec.kind == "flat":
         return FlatIndex(metric=spec.metric).build(vectors)
     if spec.kind == "ivf":
-        return IVFIndex(metric=spec.metric, nlist=params.get("nlist"),
+        assert isinstance(params, IVFParams)
+        return IVFIndex(metric=spec.metric, nlist=params.nlist,
                         seed=seed).build(vectors)
     if spec.kind == "hnsw":
-        return HNSWIndex(metric=spec.metric, M=params.get("M", 16),
-                         ef_construction=params.get("ef_construction", 200),
+        assert isinstance(params, HNSWParams)
+        return HNSWIndex(metric=spec.metric, M=params.M,
+                         ef_construction=params.ef_construction,
                          seed=seed).build(vectors)
     if spec.kind == "diskann":
+        assert isinstance(params, DiskANNParams)
         return DiskANNIndex(
-            metric=spec.metric, R=params.get("R", 32),
-            L_build=params.get("L_build", 96),
-            alpha=params.get("alpha", 1.3),
+            metric=spec.metric, R=params.R,
+            L_build=params.L_build,
+            alpha=params.alpha,
             storage_dim=storage_dim,
             cache_bytes=profile.diskann_cache_bytes,
             lru_bytes=profile.diskann_lru_bytes,
             seed=seed).build(vectors)
     if spec.kind == "ivf-pq":
-        quantizer = ProductQuantizer(dim, m=params.get("pq_m", dim // 4),
-                                     seed=seed)
-        return IVFIndex(metric=spec.metric, nlist=params.get("nlist"),
+        assert isinstance(params, IVFPQParams)
+        quantizer = ProductQuantizer(
+            dim, m=params.pq_m if params.pq_m is not None else dim // 4,
+            seed=seed)
+        return IVFIndex(metric=spec.metric, nlist=params.nlist,
                         quantizer=quantizer, on_disk=True,
                         record_bytes=8 + (storage_dim // dim) *
                         quantizer.code_bytes(),
                         seed=seed).build(vectors)
     if spec.kind == "spann":
         from repro.ann.spann import SPANNIndex
+        assert isinstance(params, SPANNParams)
         return SPANNIndex(
             metric=spec.metric,
-            n_postings=params.get("n_postings"),
-            max_replicas=params.get("max_replicas", 8),
-            closure_eps=params.get("closure_eps", 0.15),
+            n_postings=params.n_postings,
+            max_replicas=params.max_replicas,
+            closure_eps=params.closure_eps,
+            list_cache_bytes=params.list_cache_bytes,
+            cache_policy=params.cache_policy,
             storage_dim=storage_dim, seed=seed).build(vectors)
     if spec.kind == "hnsw-mmap":
         # Qdrant's storage-based setup: graph in memory, vectors paged
         # from an mmap'ed file through the OS page cache.
         from repro.engines.mmap import MmapHNSWIndex
+        assert isinstance(params, HNSWMmapParams)
         return MmapHNSWIndex(
-            metric=spec.metric, M=params.get("M", 16),
-            ef_construction=params.get("ef_construction", 200),
+            metric=spec.metric, M=params.M,
+            ef_construction=params.ef_construction,
             storage_dim=storage_dim,
-            cache_bytes=params.get("cache_bytes", 1 << 30),
+            cache_bytes=params.cache_bytes,
+            cache_policy=params.cache_policy,
             seed=seed).build(vectors)
     if spec.kind == "hnsw-sq":
         # LanceDB's HNSW stores scalar-quantized vectors: build the
         # graph over the decoded (lossy) representation.
+        assert isinstance(params, HNSWParams)
         sq = ScalarQuantizer().train(vectors)
         decoded = sq.decode(sq.encode(vectors))
-        return HNSWIndex(metric=spec.metric, M=params.get("M", 16),
-                         ef_construction=params.get("ef_construction", 200),
+        return HNSWIndex(metric=spec.metric, M=params.M,
+                         ef_construction=params.ef_construction,
                          seed=seed).build(decoded)
     raise EngineError(f"unhandled index kind {spec.kind!r}")
 
@@ -234,10 +305,15 @@ class Collection:
 
     # -- search ------------------------------------------------------------
 
-    def search(self, query: np.ndarray, k: int,
+    def search(self, query: np.ndarray, k: int = 10, *,
                filter_: Filter | None = None,
-               **params: t.Any) -> SearchResponse:
-        """Top-k over all segments + growing rows, minus tombstones."""
+               **params: t.Any) -> SearchResult:
+        """Top-k over all segments + growing rows, minus tombstones.
+
+        Search-time parameters are keyword-only; returns the unified
+        :class:`~repro.ann.workprofile.SearchResult` shape shared by
+        index-, collection-, and engine-level searches.
+        """
         if k <= 0:
             raise EngineError(f"k must be positive: {k}")
         need = k
@@ -259,12 +335,18 @@ class Collection:
                     if row_id not in self.tombstones
                     and self.payloads.matches(int(row_id), filter_)]
         keep = keep[:k]
-        return SearchResponse(ids=response.ids[keep],
-                              dists=response.dists[keep],
-                              works=response.works)
+        return SearchResult(ids=response.ids[keep],
+                            work=response.work,
+                            dists=response.dists[keep],
+                            works=response.works)
+
+    def execute(self, request: SearchRequest) -> SearchResult:
+        """Run a typed :class:`SearchRequest` against this collection."""
+        return self.search(request.query, request.k,
+                           filter_=request.filter, **request.param_dict)
 
     def _gather(self, query: np.ndarray, k: int,
-                **params: t.Any) -> SearchResponse:
+                **params: t.Any) -> SearchResult:
         all_ids, all_dists, works = [], [], []
         for segment in self.segments:
             result = segment.search(query, k, **params)
@@ -276,13 +358,17 @@ class Collection:
             all_ids.append(result.ids)
             all_dists.append(result.dists)
             works.append(result.work)
+        merged = merge_works(works)
         if not all_ids:
-            return SearchResponse(np.empty(0, dtype=np.int64),
-                                  np.empty(0, dtype=np.float32), works)
+            return SearchResult(ids=np.empty(0, dtype=np.int64),
+                                work=merged,
+                                dists=np.empty(0, dtype=np.float32),
+                                works=works)
         ids = np.concatenate(all_ids)
         dists = np.concatenate(all_dists)
         order = np.argsort(dists, kind="stable")[:k]
-        return SearchResponse(ids[order], dists[order], works)
+        return SearchResult(ids=ids[order], work=merged,
+                            dists=dists[order], works=works)
 
     # -- accounting --------------------------------------------------------
 
@@ -359,10 +445,15 @@ class VectorEngine:
     def flush(self, name: str) -> list[Segment]:
         return self.collection(name).flush()
 
-    def search(self, name: str, query: np.ndarray, k: int,
+    def search(self, name: str, query: np.ndarray, k: int = 10, *,
                filter_: Filter | None = None,
-               **params: t.Any) -> SearchResponse:
-        return self.collection(name).search(query, k, filter_, **params)
+               **params: t.Any) -> SearchResult:
+        return self.collection(name).search(query, k, filter_=filter_,
+                                            **params)
+
+    def execute(self, name: str, request: SearchRequest) -> SearchResult:
+        """Run a typed :class:`SearchRequest` against a collection."""
+        return self.collection(name).execute(request)
 
     # -- memory ---------------------------------------------------------------
 

@@ -37,12 +37,17 @@ class MmapHNSWIndex(VectorIndex):
 
     def __init__(self, metric: str = "cosine", M: int = 16,
                  ef_construction: int = 200, storage_dim: int | None = None,
-                 cache_bytes: int = 1 << 30, seed: int = 0) -> None:
+                 cache_bytes: int = 1 << 30, cache_policy: str = "lru",
+                 seed: int = 0) -> None:
+        """``cache_policy`` selects the page cache's admission policy
+        ("lru" models the kernel's recency behaviour, "hotness" keeps
+        frequently-faulted pages across drops)."""
         super().__init__(metric)
         self.inner = HNSWIndex(metric, M, ef_construction, seed)
         self.storage_dim = storage_dim
         self.cache_bytes = cache_bytes
-        self.cache = PageCache(cache_bytes)
+        self.cache_policy = cache_policy
+        self.cache = PageCache(cache_bytes, policy=cache_policy)
         self._n = 0
 
     def build(self, X: np.ndarray) -> "MmapHNSWIndex":
@@ -100,8 +105,8 @@ class MmapHNSWIndex(VectorIndex):
         return -(-total // PAGE_SIZE) * PAGE_SIZE
 
 
-def wrap_mmap(index: HNSWIndex, storage_dim: int,
-              cache_bytes: int) -> MmapHNSWIndex:
+def wrap_mmap(index: HNSWIndex, storage_dim: int, cache_bytes: int,
+              cache_policy: str = "lru") -> MmapHNSWIndex:
     """Adapt an already-built HNSW index to mmap-backed storage."""
     if not index.built:
         raise IndexError_("wrap_mmap needs a built HNSW index")
@@ -110,7 +115,8 @@ def wrap_mmap(index: HNSWIndex, storage_dim: int,
     wrapper.inner = index
     wrapper.storage_dim = storage_dim
     wrapper.cache_bytes = cache_bytes
-    wrapper.cache = PageCache(cache_bytes)
+    wrapper.cache_policy = cache_policy
+    wrapper.cache = PageCache(cache_bytes, policy=cache_policy)
     wrapper._n = index._X.shape[0]
     wrapper._built = True
     return wrapper

@@ -9,7 +9,9 @@ went — the stages of the paper's query path:
 * ``pool_wait`` — time queued behind the DiskANN admission pool;
 * ``cpu`` — core-seconds of actual computation;
 * ``cpu_wait`` — time runnable but queued for a core;
-* ``device`` — time blocked on block-device rounds.
+* ``device`` — time blocked on *demand* block-device rounds;
+* ``prefetch`` — time blocked joining speculative reads still in
+  flight (zero when the look-ahead fully overlapped them).
 
 Stage timings are kept both per segment (:class:`SegmentTiming`, one per
 searched segment, mirroring Milvus's intra-query parallelism) and as
@@ -24,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 import typing as t
 
-STAGES = ("rpc", "pool_wait", "cpu", "cpu_wait", "device")
+STAGES = ("rpc", "pool_wait", "cpu", "cpu_wait", "device", "prefetch")
 
 
 @dataclasses.dataclass
@@ -34,9 +36,14 @@ class SegmentTiming:
     cpu_s: float = 0.0
     cpu_wait_s: float = 0.0
     device_s: float = 0.0
+    prefetch_wait_s: float = 0.0
     read_bytes: int = 0
     read_requests: int = 0
     cache_hits: int = 0
+    prefetch_bytes: int = 0
+    prefetch_requests: int = 0
+    prefetch_useful: int = 0
+    prefetch_wasted: int = 0
 
     def to_dict(self) -> dict[str, t.Any]:
         return dataclasses.asdict(self)
@@ -58,6 +65,10 @@ class QuerySpan:
     read_bytes: int = 0
     read_requests: int = 0
     cache_hits: int = 0
+    prefetch_bytes: int = 0
+    prefetch_requests: int = 0
+    prefetch_useful: int = 0
+    prefetch_wasted: int = 0
 
     def add_stage(self, stage: str, seconds: float) -> None:
         """Accumulate *seconds* into a query-level stage."""
@@ -80,9 +91,15 @@ class QuerySpan:
                 self.add_stage("cpu_wait", timing.cpu_wait_s)
             if timing.device_s:
                 self.add_stage("device", timing.device_s)
+            if timing.prefetch_wait_s:
+                self.add_stage("prefetch", timing.prefetch_wait_s)
             self.read_bytes += timing.read_bytes
             self.read_requests += timing.read_requests
             self.cache_hits += timing.cache_hits
+            self.prefetch_bytes += timing.prefetch_bytes
+            self.prefetch_requests += timing.prefetch_requests
+            self.prefetch_useful += timing.prefetch_useful
+            self.prefetch_wasted += timing.prefetch_wasted
 
     @property
     def latency_s(self) -> float:
@@ -102,17 +119,27 @@ class QuerySpan:
             "read_bytes": self.read_bytes,
             "read_requests": self.read_requests,
             "cache_hits": self.cache_hits,
+            "prefetch_bytes": self.prefetch_bytes,
+            "prefetch_requests": self.prefetch_requests,
+            "prefetch_useful": self.prefetch_useful,
+            "prefetch_wasted": self.prefetch_wasted,
         }
 
     @classmethod
     def from_dict(cls, data: dict[str, t.Any]) -> "QuerySpan":
+        # Prefetch fields default to 0 for spans exported before the
+        # prefetch subsystem existed.
         span = cls(query_id=data["query_id"], index=data["index"],
                    client_id=data["client_id"], cold=data["cold"],
                    start_s=data["start_s"], end_s=data["end_s"],
                    stages=dict(data["stages"]),
                    read_bytes=data["read_bytes"],
                    read_requests=data["read_requests"],
-                   cache_hits=data["cache_hits"])
+                   cache_hits=data["cache_hits"],
+                   prefetch_bytes=data.get("prefetch_bytes", 0),
+                   prefetch_requests=data.get("prefetch_requests", 0),
+                   prefetch_useful=data.get("prefetch_useful", 0),
+                   prefetch_wasted=data.get("prefetch_wasted", 0))
         span.segments = {int(seg): SegmentTiming(**timing)
                          for seg, timing in data["segments"].items()}
         return span

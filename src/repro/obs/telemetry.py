@@ -66,18 +66,32 @@ class RunTelemetry:
         self.per_query_read_bytes.observe(span.read_bytes)
         if span.cache_hits:
             self.counter("query_cache_hits").inc(span.cache_hits)
+        if span.prefetch_useful or span.prefetch_wasted:
+            self.counter("prefetch_issued").inc(
+                span.prefetch_useful + span.prefetch_wasted)
+            self.counter("prefetch_useful").inc(span.prefetch_useful)
+            self.counter("prefetch_wasted").inc(span.prefetch_wasted)
 
     # -- hooks (called by instrumented components) -----------------------
 
     def on_device_submit(self, op: str,
-                         requests: t.Sequence[tuple[int, int]]) -> None:
-        """Record one batch submitted to the simulated device."""
+                         requests: t.Sequence[tuple[int, int]],
+                         speculative: bool = False) -> None:
+        """Record one batch submitted to the simulated device.
+
+        Speculative (prefetch) reads count toward the device totals —
+        they really occupy channels — and additionally into the
+        ``device_prefetch_*`` counters for attribution.
+        """
         total = sum(size for _off, size in requests)
         if op == "R":
             for _off, size in requests:
                 self.read_request_size.observe(size)
             self.counter("device_read_requests").inc(len(requests))
             self.counter("device_read_bytes").inc(total)
+            if speculative:
+                self.counter("device_prefetch_requests").inc(len(requests))
+                self.counter("device_prefetch_bytes").inc(total)
         else:
             self.counter("device_write_requests").inc(len(requests))
             self.counter("device_write_bytes").inc(total)
@@ -110,12 +124,40 @@ class RunTelemetry:
 
     @property
     def total_read_bytes(self) -> int:
-        """Device read bytes attributed to queries, over all spans."""
-        return sum(span.read_bytes for span in self.spans)
+        """Device read bytes attributed to queries, over all spans.
+
+        Demand plus speculative (prefetch) reads — the span-side total
+        that reconciles with the device counters and the block trace.
+        """
+        return sum(span.read_bytes + span.prefetch_bytes
+                   for span in self.spans)
 
     @property
     def total_cache_hits(self) -> int:
         return sum(span.cache_hits for span in self.spans)
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        """Fraction of speculative reads later consumed by the beam."""
+        issued = self.counters.get("prefetch_issued", Counter("")).value
+        useful = self.counters.get("prefetch_useful", Counter("")).value
+        return useful / issued if issued else 0.0
+
+    @property
+    def wasted_read_ratio(self) -> float:
+        """Speculative bytes never consumed, over all device read bytes.
+
+        The cost side of look-ahead prefetching: the extra read volume
+        paid for the latency overlap.
+        """
+        wasted_bytes = sum(
+            span.prefetch_bytes * (span.prefetch_wasted
+                                   / (span.prefetch_useful
+                                      + span.prefetch_wasted))
+            for span in self.spans
+            if span.prefetch_useful + span.prefetch_wasted)
+        read = self.counters.get("device_read_bytes", Counter("")).value
+        return wasted_bytes / read if read else 0.0
 
     def cache_hit_rate(self, cache: str) -> float:
         """Hit fraction of one named cache (0.0 when never accessed)."""
@@ -131,6 +173,8 @@ class RunTelemetry:
             "queries": len(self.spans),
             "total_read_bytes": self.total_read_bytes,
             "total_cache_hits": self.total_cache_hits,
+            "prefetch_hit_rate": self.prefetch_hit_rate,
+            "wasted_read_ratio": self.wasted_read_ratio,
             "mean_latency_s": self.query_latency.mean,
             "stage_mean_s": {stage: hist.mean
                              for stage, hist in self.stage_latency.items()},

@@ -1,0 +1,36 @@
+"""I/O-aware prefetching and hotness caching for storage-based search.
+
+The paper's I/O characterization (RQ2/RQ3) shows storage-based search
+dominated by small 4 KiB reads whose volume scales with ``search_list``
+and ``beam_width``.  Two published remedies motivate this subsystem:
+
+* **look-ahead prefetching** (LAANN): while a beam's demand reads are in
+  flight, speculatively issue reads for the best *unexpanded* candidates
+  just beyond the beam — the most likely members of the next hop's
+  frontier.  Speculation overlaps device time with CPU distance work and
+  collapses dependent I/O rounds when it hits; it never changes the
+  traversal, so recall is bit-identical.
+* **hotness-aware caching** (GoVector): admit and evict cache entries by
+  access frequency instead of recency, and pin structurally hot nodes
+  (entry point, high-degree hubs) that every query crosses.
+
+:class:`~repro.prefetch.policy.CachePolicy` implementations back the
+DiskANN node cache, the SPANN posting-list cache, and the OS page-cache
+model; :class:`~repro.prefetch.lookahead.LookaheadPrefetcher` drives the
+beam-search speculation.  Both are selectable per run through search
+parameters (``cache_policy=...``, ``prefetch_depth=...``).
+"""
+
+from repro.prefetch.lookahead import LookaheadPrefetcher, PrefetchStats
+from repro.prefetch.policy import (POLICY_NAMES, CachePolicy, HotnessPolicy,
+                                   LRUPolicy, make_policy)
+
+__all__ = [
+    "CachePolicy",
+    "HotnessPolicy",
+    "LRUPolicy",
+    "LookaheadPrefetcher",
+    "POLICY_NAMES",
+    "PrefetchStats",
+    "make_policy",
+]

@@ -1,0 +1,98 @@
+"""Look-ahead prefetching for dependent-read graph traversals.
+
+DiskANN's beam search is a chain of dependent I/O rounds: the next
+beam's node reads cannot be *known* until the current beam's neighbours
+have been ranked.  But they can be *guessed*: the candidate list is
+sorted by PQ distance, and the nodes ranked just beyond the current beam
+are overwhelmingly likely to form the next frontier.  LAANN exploits
+this by issuing speculative reads for those nodes alongside the demand
+beam — the device works on hop ``i+1``'s data while the CPU ranks hop
+``i``'s neighbours.
+
+The prefetcher only *pre-loads* node data; it never reorders or expands
+the traversal, so returned ids and distances are bit-identical with
+prefetching off (asserted by the equivalence property tests).  Its cost
+is the speculative reads that guess wrong: the **wasted-read ratio**
+(prefetched-but-never-expanded nodes) is a first-class telemetry metric
+next to the **prefetch hit rate**.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+
+@dataclasses.dataclass
+class PrefetchStats:
+    """Cumulative speculation counters of one index (telemetry)."""
+
+    issued: int = 0      # speculative node reads issued
+    useful: int = 0      # later consumed by a beam (prefetch hits)
+    wasted: int = 0      # dropped unconsumed at the end of a search
+
+    @property
+    def hit_rate(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0
+
+    @property
+    def wasted_ratio(self) -> float:
+        return self.wasted / self.issued if self.issued else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"issued": self.issued, "useful": self.useful,
+                "wasted": self.wasted}
+
+
+class LookaheadPrefetcher:
+    """Per-search speculation buffer of one graph traversal.
+
+    ``depth`` bounds how many candidates beyond the demand beam are
+    speculatively fetched per round.  The buffer holds node ids whose
+    speculative reads have been issued but not yet consumed; the runner
+    models their device time as events overlapping the demand beam and
+    the CPU between rounds.
+    """
+
+    def __init__(self, depth: int, stats: PrefetchStats) -> None:
+        self.depth = depth
+        self.stats = stats
+        self._buffer: set[int] = set()
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._buffer
+
+    def plan(self, ranked_unvisited: t.Iterable[int],
+             is_resident: t.Callable[[int], bool]) -> list[int]:
+        """Pick this round's speculation targets.
+
+        *ranked_unvisited* are candidate node ids beyond the demand
+        beam, best-first; nodes already resident in a cache or in the
+        speculation buffer are skipped.  Returns the chosen ids (their
+        reads must then be issued by the caller) in rank order.
+        """
+        chosen: list[int] = []
+        for node in ranked_unvisited:
+            if len(chosen) >= self.depth:
+                break
+            if node in self._buffer or is_resident(node):
+                continue
+            self._buffer.add(node)
+            chosen.append(node)
+        self.stats.issued += len(chosen)
+        return chosen
+
+    def consume(self, node: int) -> bool:
+        """True (and counts a hit) if *node* sits in the buffer."""
+        if node in self._buffer:
+            self._buffer.discard(node)
+            self.stats.useful += 1
+            return True
+        return False
+
+    def finish(self) -> int:
+        """Close the search: unconsumed speculation becomes waste."""
+        wasted = len(self._buffer)
+        self.stats.wasted += wasted
+        self._buffer.clear()
+        return wasted

@@ -1,0 +1,188 @@
+"""Cache admission/eviction policies shared by the caching layers.
+
+A :class:`CachePolicy` tracks *which* keys are resident — node ids for
+the DiskANN node cache, cell ids for the SPANN posting-list cache, page
+numbers for the OS page-cache model.  Payload bytes never live here
+(the simulation moves timing, not data), so one policy implementation
+serves every layer.
+
+Two policies are provided:
+
+* :class:`LRUPolicy` — recency only; byte-compatible with the plain
+  ``OrderedDict`` caches it replaces (same hits, same evictions).
+* :class:`HotnessPolicy` — frequency-weighted admission and eviction
+  with pinning.  Accesses bump a per-key frequency that *survives*
+  evictions and cache drops (the profiled-hotness memory of GoVector):
+  a dropped cache refills in hot-first order instead of thrashing.
+  When full, a new key is admitted only if it is at least as hot as the
+  coldest resident key, and pinned keys (graph entry point, high-degree
+  hubs) are never evicted.
+"""
+
+from __future__ import annotations
+
+import collections
+import heapq
+import itertools
+import typing as t
+
+from repro.errors import ReproError
+
+POLICY_NAMES = ("lru", "hotness")
+
+
+class CachePolicy:
+    """Resident-set bookkeeping with a capacity in entries."""
+
+    name = "abstract"
+
+    def __init__(self, capacity: int,
+                 pinned: t.Iterable[int] = ()) -> None:
+        if capacity < 0:
+            raise ReproError(f"negative cache capacity: {capacity}")
+        self.capacity = capacity
+        self.pinned = frozenset(pinned)
+        if capacity and len(self.pinned) > capacity:
+            # Keep the hottest-by-construction prefix; callers pass the
+            # pin set in priority order via sorted containers.
+            self.pinned = frozenset(sorted(self.pinned)[:capacity])
+        self.evictions = 0
+
+    def __contains__(self, key: int) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def touch(self, key: int) -> None:
+        """Record a hit on a resident *key*."""
+        raise NotImplementedError
+
+    def admit(self, key: int) -> None:
+        """Offer *key* for residency, evicting per policy if needed."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop the resident set (``drop_caches``); pins re-seed it."""
+        raise NotImplementedError
+
+
+class LRUPolicy(CachePolicy):
+    """Classic least-recently-used eviction (no pinning semantics)."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int,
+                 pinned: t.Iterable[int] = ()) -> None:
+        super().__init__(capacity, pinned=())
+        self._entries: "collections.OrderedDict[int, None]" = (
+            collections.OrderedDict())
+
+    def __contains__(self, key: int) -> bool:
+        return self.capacity > 0 and key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def touch(self, key: int) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+
+    def admit(self, key: int) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = None
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class HotnessPolicy(CachePolicy):
+    """Frequency-weighted admission/eviction with pinned keys.
+
+    Eviction picks the resident, unpinned key with the lowest
+    (frequency, arrival-order) — a lazy min-heap keeps that O(log n)
+    amortized.  Admission of a new key into a full cache is refused
+    when the key is strictly colder than the current victim, so
+    one-touch scans cannot flush the hot set.
+    """
+
+    name = "hotness"
+
+    def __init__(self, capacity: int,
+                 pinned: t.Iterable[int] = ()) -> None:
+        super().__init__(capacity, pinned)
+        self._freq: collections.Counter[int] = collections.Counter()
+        self._resident: set[int] = set()
+        self._heap: list[tuple[int, int, int]] = []  # (freq, seq, key)
+        self._seq = itertools.count()
+        self.rejected = 0
+        self.clear()
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def frequency(self, key: int) -> int:
+        """Lifetime access count of *key* (survives eviction/clear)."""
+        return self._freq[key]
+
+    def touch(self, key: int) -> None:
+        self._freq[key] += 1
+        if key in self._resident and key not in self.pinned:
+            heapq.heappush(self._heap,
+                           (self._freq[key], next(self._seq), key))
+
+    def _victim(self) -> tuple[int, int] | None:
+        """(frequency, key) of the coldest evictable resident, or None."""
+        while self._heap:
+            freq, seq, key = self._heap[0]
+            if key not in self._resident or freq != self._freq[key]:
+                heapq.heappop(self._heap)      # stale lazy entry
+                continue
+            return freq, key
+        return None
+
+    def admit(self, key: int) -> None:
+        if self.capacity <= 0 or key in self._resident:
+            self._freq[key] += 1
+            return
+        self._freq[key] += 1
+        if len(self._resident) >= self.capacity:
+            victim = self._victim()
+            if victim is None:                 # everything pinned
+                self.rejected += 1
+                return
+            victim_freq, victim_key = victim
+            if self._freq[key] < victim_freq:
+                self.rejected += 1             # colder than the coldest
+                return
+            self._resident.discard(victim_key)
+            self.evictions += 1
+        self._resident.add(key)
+        if key not in self.pinned:
+            heapq.heappush(self._heap,
+                           (self._freq[key], next(self._seq), key))
+
+    def clear(self) -> None:
+        """Drop residency but keep frequencies — profiled hotness."""
+        self._resident = set(
+            sorted(self.pinned)[:self.capacity] if self.capacity else ())
+        self._heap.clear()
+
+
+def make_policy(name: str, capacity: int,
+                pinned: t.Iterable[int] = ()) -> CachePolicy:
+    """Instantiate a policy by its run-selectable name."""
+    if name == "lru":
+        return LRUPolicy(capacity)
+    if name == "hotness":
+        return HotnessPolicy(capacity, pinned)
+    raise ReproError(
+        f"unknown cache policy {name!r}; one of {POLICY_NAMES}")

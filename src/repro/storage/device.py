@@ -54,12 +54,17 @@ class SimSSD:
     # -- public I/O interface ---------------------------------------------
 
     def submit(self, requests: t.Sequence[tuple[int, int]],
-               op: str) -> Event:
+               op: str, speculative: bool = False) -> Event:
         """Submit a batch of requests; fires when the *whole* batch is in.
 
         This is the primitive behind DiskANN's beam search: a beam of
         node reads is issued together and the search continues when the
         entire beam has landed.
+
+        *speculative* marks look-ahead prefetch reads.  They are timed
+        and traced exactly like demand reads (the block layer does not
+        know the difference), but telemetry attributes them separately
+        so wasted-read overhead stays visible in run reports.
         """
         if not requests:
             return self.env.timeout(0.0)
@@ -79,7 +84,8 @@ class SimSSD:
         else:
             raise StorageError(f"unknown op {op!r}")
         if self.telemetry is not None:
-            self.telemetry.on_device_submit(op, requests)
+            self.telemetry.on_device_submit(op, requests,
+                                            speculative=speculative)
         batch_done = now
         for offset, size in requests:
             self.tracer.record(now, op, offset, size)

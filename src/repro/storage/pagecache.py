@@ -24,10 +24,10 @@ why their request streams reach the block tracer unmerged as 4 KiB reads
 
 from __future__ import annotations
 
-import collections
 import typing as t
 
 from repro.errors import StorageError
+from repro.prefetch import CachePolicy, make_policy
 from repro.simkernel import Environment, Event
 from repro.storage.device import SimSSD
 from repro.storage.spec import PAGE_SIZE
@@ -37,19 +37,27 @@ CacheListener = t.Callable[[int, bool], None]
 
 
 class PageCache:
-    """Fixed-capacity LRU set of (device) page numbers."""
+    """Fixed-capacity set of (device) page numbers.
+
+    The admission/eviction policy is pluggable: ``"lru"`` (default)
+    models the kernel page cache's recency behaviour; ``"hotness"``
+    keeps frequency-weighted residency (GoVector-style), where repeat
+    accesses outrank one-touch scans and frequencies survive
+    :meth:`drop` so a flushed cache refills hot-first.
+    """
 
     def __init__(self, capacity_bytes: int,
                  page_size: int = PAGE_SIZE,
-                 listener: CacheListener | None = None) -> None:
+                 listener: CacheListener | None = None,
+                 policy: str = "lru") -> None:
         if capacity_bytes < 0 or page_size <= 0:
             raise StorageError(
                 f"bad cache geometry: {capacity_bytes}/{page_size}")
         self.page_size = page_size
         self.capacity_pages = capacity_bytes // page_size
         self.listener = listener
-        self._pages: "collections.OrderedDict[int, None]" = (
-            collections.OrderedDict())
+        self.policy = policy
+        self._pages: CachePolicy = make_policy(policy, self.capacity_pages)
         self.hits = 0
         self.misses = 0
 
@@ -62,7 +70,7 @@ class PageCache:
     def lookup(self, page: int) -> bool:
         """Record an access; returns True on hit.  Never inserts."""
         if page in self._pages:
-            self._pages.move_to_end(page)
+            self._pages.touch(page)
             self.hits += 1
             hit = True
         else:
@@ -73,15 +81,10 @@ class PageCache:
         return hit
 
     def insert(self, page: int) -> None:
-        """Add *page*, evicting the least recently used page if full."""
+        """Add *page*, evicting per the active policy if full."""
         if self.capacity_pages == 0:
             return
-        if page in self._pages:
-            self._pages.move_to_end(page)
-            return
-        while len(self._pages) >= self.capacity_pages:
-            self._pages.popitem(last=False)
-        self._pages[page] = None
+        self._pages.admit(page)
 
     def drop(self) -> None:
         """Empty the cache (``drop_caches``); counters are kept."""

@@ -30,7 +30,7 @@ import typing as t
 
 import numpy as np
 
-from repro.ann.workprofile import CpuStep, IoStep
+from repro.ann.workprofile import CpuStep, IoStep, PrefetchStep
 from repro.data.groundtruth import recall_at_k
 from repro.engines.costmodel import CostModel
 from repro.engines.engine import Collection, VectorEngine
@@ -44,7 +44,9 @@ from repro.storage.spec import DeviceSpec, samsung_990pro_4tb
 from repro.storage.tracer import BlockTracer
 from repro.workload.metrics import RunResult, percentile
 
-#: ('cpu', seconds) or ('io', ((abs_offset, size), ...))
+#: ('cpu', seconds), ('io', ((abs_offset, size), ...)) — a blocking
+#: demand round — ('pf', requests) — a non-blocking speculative issue —
+#: or ('join', None) — a barrier on all in-flight speculative reads.
 CompiledStep = tuple[str, t.Any]
 
 
@@ -95,10 +97,16 @@ class CompiledQuery:
     #: Node/page-cache hits per segment, from the functional pass; used
     #: by telemetry to attribute cache effectiveness to query ids.
     cache_hits: list[int] = dataclasses.field(default_factory=list)
+    #: (useful, wasted) speculative-read counts per segment, from the
+    #: functional pass; spans report them as prefetch hit/waste.
+    prefetch: list[tuple[int, int]] = dataclasses.field(
+        default_factory=list)
 
     def __post_init__(self) -> None:
         while len(self.cache_hits) < len(self.segments):
             self.cache_hits.append(0)
+        while len(self.prefetch) < len(self.segments):
+            self.prefetch.append((0, 0))
 
 
 class BenchRunner:
@@ -176,7 +184,7 @@ class BenchRunner:
         plans, found = [], []
         for query in self.queries:
             response = self.collection.search(query, self.k, **params)
-            segments, seg_hits = [], []
+            segments, seg_hits, seg_pf = [], [], []
             # Map work profiles to segment ids: works are appended in
             # segment order, the growing buffer last.
             for work, segment in zip(response.works,
@@ -184,10 +192,12 @@ class BenchRunner:
                 segments.append(self._compile_work(work,
                                                    segment.segment_id))
                 seg_hits.append(work.cache_hits)
+                seg_pf.append((work.prefetch_hits, work.prefetch_wasted))
             for work in response.works[len(self.collection.segments):]:
                 segments.append(self._compile_work(work, None))
                 seg_hits.append(work.cache_hits)
-            plans.append(CompiledQuery(segments, seg_hits))
+                seg_pf.append((work.prefetch_hits, work.prefetch_wasted))
+            plans.append(CompiledQuery(segments, seg_hits, seg_pf))
             found.append(response.ids)
         return plans, found
 
@@ -200,6 +210,18 @@ class BenchRunner:
                 seconds = self.cost.cpu_step_seconds(step) * self.work_scale
                 if seconds > 0:
                     steps.append(("cpu", seconds))
+            elif isinstance(step, PrefetchStep):
+                if step.join:
+                    steps.append(("join", None))
+                elif step.requests:
+                    cpu = self.cost.prefetch_step_cpu_seconds(step)
+                    if cpu > 0:
+                        steps.append(("cpu", cpu))
+                    absolute = tuple(
+                        (base + offset, size)
+                        for offset, size in self._split_requests(
+                            step.requests))
+                    steps.append(("pf", absolute))
             elif isinstance(step, IoStep):
                 cpu = self.cost.io_step_cpu_seconds(step)
                 steps.append(("cpu", cpu))
@@ -283,10 +305,14 @@ class BenchRunner:
                           max_queries=max_queries)
 
         def segment_proc(steps: list[CompiledStep], span=None,
-                         seg: int = 0, cache_hits: int = 0):
+                         seg: int = 0, cache_hits: int = 0,
+                         prefetch: tuple[int, int] = (0, 0)):
             timing = span.segment(seg) if span is not None else None
             if timing is not None:
                 timing.cache_hits += cache_hits
+                timing.prefetch_useful += prefetch[0]
+                timing.prefetch_wasted += prefetch[1]
+            outstanding: list = []   # in-flight speculative reads
             for kind, payload in steps:
                 if kind == "cpu":
                     if timing is None:
@@ -297,6 +323,23 @@ class BenchRunner:
                         timing.cpu_s += payload
                         timing.cpu_wait_s += max(
                             0.0, env.now - queued_at - payload)
+                elif kind == "pf":
+                    # Issue speculatively and keep going: the event is
+                    # held, not yielded, so the device time overlaps the
+                    # demand beam and CPU that follow.
+                    outstanding.append(
+                        device.submit(payload, "R", speculative=True))
+                    if timing is not None:
+                        timing.prefetch_requests += len(payload)
+                        timing.prefetch_bytes += sum(
+                            size for _off, size in payload)
+                elif kind == "join":
+                    if outstanding:
+                        waited_at = env.now
+                        yield env.all_of(outstanding)
+                        outstanding = []
+                        if timing is not None:
+                            timing.prefetch_wait_s += env.now - waited_at
                 else:
                     if timing is None:
                         yield device.submit(payload, "R")
@@ -307,6 +350,9 @@ class BenchRunner:
                         timing.read_requests += len(payload)
                         timing.read_bytes += sum(
                             size for _off, size in payload)
+            # Speculative reads never joined (the wasted ones) complete
+            # in the background; their channel occupancy is already
+            # accounted at submission.
 
         def query_proc(plan: CompiledQuery, span=None):
             if profile.rpc_s:
@@ -330,13 +376,17 @@ class BenchRunner:
                             and len(plan.segments) > 1)
                 if parallel:
                     yield env.all_of([
-                        env.process(segment_proc(steps, span, seg, hits))
-                        for seg, (steps, hits) in enumerate(
-                            zip(plan.segments, plan.cache_hits))])
+                        env.process(segment_proc(steps, span, seg, hits,
+                                                 pf))
+                        for seg, (steps, hits, pf) in enumerate(
+                            zip(plan.segments, plan.cache_hits,
+                                plan.prefetch))])
                 else:
-                    for seg, (steps, hits) in enumerate(
-                            zip(plan.segments, plan.cache_hits)):
-                        yield from segment_proc(steps, span, seg, hits)
+                    for seg, (steps, hits, pf) in enumerate(
+                            zip(plan.segments, plan.cache_hits,
+                                plan.prefetch)):
+                        yield from segment_proc(steps, span, seg, hits,
+                                                pf)
             finally:
                 if pool is not None:
                     pool.release()
@@ -429,17 +479,26 @@ class BenchRunner:
             telemetry=telem,
         )
 
+    #: Counter names that predate the generic per-kind scheme; kept so
+    #: existing dashboards/tests keep their series.
+    _COUNTER_ALIASES = {("diskann", "misses"): "cache_diskann_node_misses"}
+
     def _cache_counters(self) -> dict[str, int]:
-        """Cumulative cache counters of the collection's indexes."""
+        """Cumulative cache counters of the collection's indexes.
+
+        Any index exposing ``cache_stats() -> dict`` is folded in under
+        ``cache_<kind>_<stat>`` names (DiskANN node caches, SPANN
+        posting-list caches, ...).
+        """
         totals: collections.Counter[str] = collections.Counter()
         for segment in self.collection.segments:
             index = segment.index
             stats_fn = getattr(index, "cache_stats", None)
-            if stats_fn is not None:      # DiskANN node caches
-                stats = stats_fn()
-                totals["cache_diskann_static_hits"] += stats["static_hits"]
-                totals["cache_diskann_lru_hits"] += stats["lru_hits"]
-                totals["cache_diskann_node_misses"] += stats["misses"]
+            if stats_fn is not None:
+                for stat, value in stats_fn().items():
+                    name = self._COUNTER_ALIASES.get(
+                        (index.kind, stat), f"cache_{index.kind}_{stat}")
+                    totals[name] += value
             cache = getattr(index, "cache", None)
             if cache is not None and hasattr(cache, "hits"):
                 totals["cache_page_hits"] += cache.hits

@@ -1,0 +1,90 @@
+"""Property tests: caching and prefetching never change search results.
+
+The contract of the whole :mod:`repro.prefetch` subsystem is that
+``cache_policy`` and ``prefetch_depth`` are *I/O-schedule* knobs: they
+move device reads in time (or avoid them), but the traversal — and
+therefore the returned ids and distances — is bit-identical in every
+configuration, across index kinds and build seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ann import DiskANNIndex
+from repro.ann.spann import SPANNIndex
+from repro.engines.mmap import MmapHNSWIndex
+
+
+@pytest.fixture(scope="module")
+def diskann_pair(small_data):
+    """Two independently seeded DiskANN builds over the same data."""
+    return tuple(
+        DiskANNIndex(metric="cosine", R=16, L_build=32, storage_dim=768,
+                     seed=seed).build(small_data)
+        for seed in (0, 3))
+
+
+def assert_same_result(baseline, other):
+    np.testing.assert_array_equal(baseline.ids, other.ids)
+    np.testing.assert_allclose(baseline.dists, other.dists)
+
+
+@settings(max_examples=25, deadline=None)
+@given(query_row=st.integers(0, 31),
+       search_list=st.sampled_from([10, 25, 60]),
+       beam_width=st.sampled_from([1, 2, 4]),
+       prefetch_depth=st.integers(0, 8),
+       cache_policy=st.sampled_from(["lru", "hotness"]),
+       seed_index=st.integers(0, 1))
+def test_diskann_results_invariant(diskann_pair, small_queries, query_row,
+                                   search_list, beam_width, prefetch_depth,
+                                   cache_policy, seed_index):
+    index = diskann_pair[seed_index]
+    query = small_queries[query_row]
+    baseline = index.search(query, 10, search_list=search_list,
+                            beam_width=beam_width)
+    tuned = index.search(query, 10, search_list=search_list,
+                         beam_width=beam_width,
+                         prefetch_depth=prefetch_depth,
+                         cache_policy=cache_policy)
+    assert_same_result(baseline, tuned)
+
+
+def test_diskann_invariant_across_repeated_warm_searches(diskann_pair,
+                                                         small_queries):
+    """Cache state accumulated over a whole query stream never leaks
+    into results: replaying the stream under aggressive prefetching
+    reproduces the no-prefetch stream exactly."""
+    index = diskann_pair[0]
+    baseline = [index.search(q, 10, search_list=30) for q in small_queries]
+    index.reset_dynamic_cache()
+    tuned = [index.search(q, 10, search_list=30, prefetch_depth=6,
+                          cache_policy="hotness") for q in small_queries]
+    for b, t in zip(baseline, tuned):
+        assert_same_result(b, t)
+
+
+def test_spann_results_invariant_under_list_cache(small_data, small_queries):
+    plain = SPANNIndex(metric="cosine", n_postings=16,
+                       storage_dim=768).build(small_data)
+    cached = SPANNIndex(metric="cosine", n_postings=16, storage_dim=768,
+                        list_cache_bytes=1 << 20,
+                        cache_policy="hotness").build(small_data)
+    for q in small_queries:
+        assert_same_result(plain.search(q, 10, nprobe=6),
+                           cached.search(q, 10, nprobe=6))
+
+
+@pytest.mark.parametrize("policy", ["lru", "hotness"])
+def test_mmap_hnsw_results_invariant_under_page_cache(small_data,
+                                                      small_queries, policy):
+    memory = MmapHNSWIndex(metric="cosine", M=8, ef_construction=64,
+                           cache_bytes=1 << 30, seed=1).build(small_data)
+    starved = MmapHNSWIndex(metric="cosine", M=8, ef_construction=64,
+                            cache_bytes=0, cache_policy=policy,
+                            seed=1).build(small_data)
+    for q in small_queries:
+        assert_same_result(memory.search(q, 10, ef_search=32),
+                           starved.search(q, 10, ef_search=32))

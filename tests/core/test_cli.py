@@ -59,5 +59,20 @@ def test_parser_lists_all_commands():
     parser = build_parser()
     text = parser.format_help()
     for command in ("fio", "table2", "tune", "sweep", "figure", "telemetry",
-                    "study", "prebuild"):
+                    "prefetch", "study", "prebuild"):
         assert command in text
+
+
+def test_prefetch_command(capsys):
+    assert main(["prefetch", "-d", "openai-500k", "--beams", "1,2",
+                 "--search-list", "15", "--threads", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "hotness+pf" in out and "lru" in out
+    assert "pf hit" in out and "wasted" in out
+    # Recall is identical across the three configs of each beam row.
+    recalls = {}
+    for line in out.splitlines()[3:]:
+        parts = line.split()
+        if len(parts) >= 8:
+            recalls.setdefault(parts[0], set()).add(parts[5])
+    assert recalls and all(len(values) == 1 for values in recalls.values())

@@ -80,3 +80,39 @@ def test_render_telemetry_empty_run():
     from repro.obs import RunTelemetry
 
     assert render_telemetry(RunTelemetry()) == ""
+
+
+def test_render_telemetry_prefetch_block():
+    from repro.core.report import render_telemetry
+    from repro.obs import RunTelemetry
+
+    telemetry = RunTelemetry()
+    span = telemetry.begin_query(0, 0, 0, True, now=0.0)
+    seg = span.segment(0)
+    seg.cpu_s, seg.device_s, seg.read_bytes = 1e-3, 2e-3, 8192
+    seg.prefetch_requests, seg.prefetch_bytes = 4, 16384
+    seg.prefetch_useful, seg.prefetch_wasted = 3, 1
+    telemetry.end_query(span, now=0.004)
+    telemetry.on_device_submit("R", [(0, 8192)])
+    telemetry.on_device_submit("R", [(0, 16384)], speculative=True)
+    text = render_telemetry(telemetry)
+    assert "== Prefetch" in text
+    assert "prefetch hit rate" in text and "0.750" in text
+    assert "wasted read ratio" in text
+    assert "device_prefetch_requests" in text
+
+
+def test_render_prefetch_comparison():
+    from repro.core.report import render_prefetch_comparison
+
+    entry = {"qps": 1000.0, "p99_us": 2500.0, "recall": 0.99,
+             "per_query_kib": 40.0, "prefetch_hit_rate": 0.8,
+             "wasted_read_ratio": 0.05}
+    data = {"dataset": "cohere-1m", "search_list": 50,
+            "configs": ["lru", "hotness", "hotness+pf"],
+            "rows": {2: {"lru": entry, "hotness": entry,
+                         "hotness+pf": entry}}}
+    text = render_prefetch_comparison(data)
+    assert "cohere-1m" in text and "search_list=50" in text
+    assert "hotness+pf" in text
+    assert "0.80" in text and "0.990" in text

@@ -1,0 +1,62 @@
+"""Unit tests for the look-ahead prefetcher's speculation buffer."""
+
+from repro.prefetch import LookaheadPrefetcher, PrefetchStats
+
+
+def make(depth=2):
+    stats = PrefetchStats()
+    return LookaheadPrefetcher(depth, stats), stats
+
+
+def test_plan_respects_depth():
+    pf, stats = make(depth=2)
+    chosen = pf.plan([1, 2, 3, 4], is_resident=lambda n: False)
+    assert chosen == [1, 2]
+    assert stats.issued == 2
+
+
+def test_plan_skips_resident_and_buffered():
+    pf, stats = make(depth=3)
+    pf.plan([1], is_resident=lambda n: False)
+    chosen = pf.plan([1, 2, 3, 4], is_resident=lambda n: n == 2)
+    assert chosen == [3, 4]           # 1 buffered, 2 resident
+    assert stats.issued == 3
+
+
+def test_consume_hit_and_miss():
+    pf, stats = make()
+    pf.plan([7], is_resident=lambda n: False)
+    assert pf.consume(7) is True
+    assert pf.consume(7) is False     # consumed exactly once
+    assert pf.consume(8) is False
+    assert stats.useful == 1
+
+
+def test_finish_counts_unconsumed_as_waste():
+    pf, stats = make(depth=4)
+    pf.plan([1, 2, 3], is_resident=lambda n: False)
+    pf.consume(2)
+    assert pf.finish() == 2
+    assert stats.as_dict() == {"issued": 3, "useful": 1, "wasted": 2}
+    assert pf.finish() == 0           # buffer is empty now
+
+
+def test_stats_ratios():
+    stats = PrefetchStats(issued=10, useful=8, wasted=2)
+    assert stats.hit_rate == 0.8
+    assert stats.wasted_ratio == 0.2
+    empty = PrefetchStats()
+    assert empty.hit_rate == 0.0
+    assert empty.wasted_ratio == 0.0
+
+
+def test_stats_accumulate_across_searches():
+    stats = PrefetchStats()
+    for _ in range(3):                # one prefetcher per search
+        pf = LookaheadPrefetcher(2, stats)
+        pf.plan([1, 2], is_resident=lambda n: False)
+        pf.consume(1)
+        pf.finish()
+    assert stats.issued == 6
+    assert stats.useful == 3
+    assert stats.wasted == 3

@@ -1,0 +1,146 @@
+"""Unit tests for the shared cache admission/eviction policies."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.prefetch import (HotnessPolicy, LRUPolicy, POLICY_NAMES,
+                            make_policy)
+
+
+# -- construction --------------------------------------------------------------
+
+def test_make_policy_by_name():
+    assert isinstance(make_policy("lru", 4), LRUPolicy)
+    assert isinstance(make_policy("hotness", 4), HotnessPolicy)
+
+
+def test_make_policy_unknown_name_raises():
+    with pytest.raises(ReproError, match="unknown cache policy"):
+        make_policy("arc", 4)
+
+
+def test_negative_capacity_raises():
+    with pytest.raises(ReproError):
+        LRUPolicy(-1)
+
+
+def test_policy_names_cover_both():
+    assert set(POLICY_NAMES) == {"lru", "hotness"}
+
+
+# -- LRU -----------------------------------------------------------------------
+
+def test_lru_evicts_least_recently_used():
+    lru = LRUPolicy(2)
+    lru.admit(1)
+    lru.admit(2)
+    lru.touch(1)          # 2 becomes the victim
+    lru.admit(3)
+    assert 1 in lru and 3 in lru and 2 not in lru
+    assert lru.evictions == 1
+
+
+def test_lru_capacity_zero_admits_nothing():
+    lru = LRUPolicy(0)
+    lru.admit(1)
+    assert 1 not in lru
+    assert len(lru) == 0
+
+
+def test_lru_readmit_refreshes_recency():
+    lru = LRUPolicy(2)
+    lru.admit(1)
+    lru.admit(2)
+    lru.admit(1)          # re-admit, not a duplicate entry
+    assert len(lru) == 2
+    lru.admit(3)          # victim is now 2, not 1
+    assert 1 in lru and 2 not in lru
+
+
+def test_lru_ignores_pins():
+    # LRU models the kernel page cache / plain node LRU: no pinning.
+    lru = LRUPolicy(1, pinned=(7,))
+    assert lru.pinned == frozenset()
+
+
+# -- hotness -------------------------------------------------------------------
+
+def test_hotness_frequencies_survive_clear():
+    hot = HotnessPolicy(4)
+    for _ in range(3):
+        hot.admit(11)
+    hot.clear()
+    assert 11 not in hot              # residency dropped...
+    assert hot.frequency(11) == 3     # ...profiled hotness kept
+
+
+def test_hotness_pins_reseed_after_clear():
+    hot = HotnessPolicy(4, pinned=(1, 2))
+    hot.admit(9)
+    hot.clear()
+    assert 1 in hot and 2 in hot and 9 not in hot
+
+
+def test_hotness_one_touch_scan_cannot_flush_hot_set():
+    hot = HotnessPolicy(2)
+    for _ in range(5):
+        hot.admit(1)
+        hot.admit(2)
+    for key in range(100, 120):       # a cold scan
+        hot.admit(key)
+    assert 1 in hot and 2 in hot
+    assert hot.rejected == 20
+
+
+def test_hotness_hot_key_displaces_cold_resident():
+    hot = HotnessPolicy(2)
+    hot.admit(1)
+    hot.admit(2)
+    for _ in range(4):
+        hot.admit(3)                  # heats up while non-resident
+    assert 3 in hot
+    assert len(hot) == 2
+    assert hot.evictions == 1
+
+
+def test_hotness_pinned_keys_never_evicted():
+    hot = HotnessPolicy(2, pinned=(1,))
+    hot.admit(1)
+    hot.admit(2)
+    for _ in range(10):
+        hot.admit(3)                  # much hotter than the pin
+    assert 1 in hot                   # pin survives
+    assert 2 not in hot               # unpinned cold key was the victim
+
+
+def test_hotness_all_pinned_rejects_new_keys():
+    hot = HotnessPolicy(2, pinned=(1, 2))
+    hot.admit(1)
+    hot.admit(2)
+    before = len(hot)
+    for _ in range(10):
+        hot.admit(3)
+    assert 3 not in hot and len(hot) == before
+    assert hot.rejected == 10
+
+
+def test_hotness_touch_counts_frequency():
+    hot = HotnessPolicy(2)
+    hot.admit(5)
+    hot.touch(5)
+    hot.touch(5)
+    assert hot.frequency(5) == 3
+
+
+def test_hotness_pin_set_truncated_to_capacity():
+    hot = HotnessPolicy(2, pinned=(5, 1, 9))
+    assert hot.pinned == frozenset({1, 5})
+    hot.clear()
+    assert len(hot) == 2
+
+
+def test_hotness_capacity_zero_admits_nothing_but_counts():
+    hot = HotnessPolicy(0)
+    hot.admit(4)
+    assert 4 not in hot
+    assert hot.frequency(4) == 1

@@ -174,3 +174,77 @@ class TestEngineOverheads:
         six = runner.run(6, {"ef_search": 16}, duration_s=0.5)
         # Superlinear: 6 clients > 6x one client's throughput (O-4).
         assert six.qps > 6 * one.qps
+
+
+class TestSplitRequests:
+    """Regression: splitting must never drop the sub-cap remainder.
+
+    An extent of ``n * cap + r`` bytes must compile to n cap-sized
+    requests plus one r-byte request — all bytes accounted for.
+    """
+
+    def test_uneven_split_keeps_remainder(self, diskann_runner):
+        cap = diskann_runner.device_spec.max_request_bytes
+        out = diskann_runner._split_requests([(0, 2 * cap + 500)])
+        assert out == [(0, cap), (cap, cap), (2 * cap, 500)]
+
+    def test_exact_multiple_has_no_empty_tail(self, diskann_runner):
+        cap = diskann_runner.device_spec.max_request_bytes
+        out = diskann_runner._split_requests([(4096, 2 * cap)])
+        assert out == [(4096, cap), (4096 + cap, cap)]
+        assert all(size > 0 for _, size in out)
+
+    def test_sub_cap_requests_pass_through(self, diskann_runner):
+        requests = [(0, 4096), (8192, 12288)]
+        assert diskann_runner._split_requests(requests) == requests
+
+    def test_total_bytes_preserved(self, diskann_runner):
+        cap = diskann_runner.device_spec.max_request_bytes
+        requests = [(0, 3 * cap + 1), (10 * cap, cap - 1), (20 * cap, 1)]
+        out = diskann_runner._split_requests(requests)
+        assert (sum(size for _, size in out)
+                == sum(size for _, size in requests))
+
+
+class TestPrefetchReplay:
+    """Prefetch/cache-policy params through the full runner pipeline."""
+
+    PARAMS = {"search_list": 20, "beam_width": 2}
+
+    def test_prefetch_keeps_recall_and_feeds_telemetry(self,
+                                                       diskann_runner):
+        base = diskann_runner.run(2, dict(self.PARAMS), duration_s=0.5)
+        tuned = diskann_runner.run(
+            2, dict(self.PARAMS, prefetch_depth=2, cache_policy="hotness"),
+            duration_s=0.5, telemetry=True)
+        assert tuned.recall == base.recall
+        telemetry = tuned.telemetry
+        issued = telemetry.counters["prefetch_issued"].value
+        useful = telemetry.counters["prefetch_useful"].value
+        wasted = telemetry.counters["prefetch_wasted"].value
+        assert issued > 0
+        assert issued == useful + wasted
+        assert telemetry.prefetch_hit_rate == useful / issued
+        assert 0.0 <= telemetry.wasted_read_ratio < 1.0
+        assert telemetry.counters["device_prefetch_requests"].value > 0
+
+    def test_speculative_reads_show_up_in_trace(self, diskann_runner):
+        base = diskann_runner.run(1, dict(self.PARAMS), duration_s=0.3,
+                                  trace=True)
+        tuned = diskann_runner.run(
+            1, dict(self.PARAMS, prefetch_depth=4, cache_policy="lru"),
+            duration_s=0.3, trace=True)
+        # Speculative reads are real device traffic: the block trace
+        # accounts for every byte the result reports.
+        assert tuned.read_bytes == tuned.tracer.total_bytes("R")
+        assert base.read_bytes == base.tracer.total_bytes("R")
+
+    def test_spans_reconcile_with_device_counters(self, diskann_runner):
+        result = diskann_runner.run(
+            2, dict(self.PARAMS, prefetch_depth=2, cache_policy="hotness"),
+            duration_s=0.3, telemetry=True)
+        telemetry = result.telemetry
+        assert telemetry.total_read_bytes == result.read_bytes
+        span_pf = sum(s.prefetch_requests for s in telemetry.spans)
+        assert span_pf == telemetry.counters[
+            "device_prefetch_requests"].value

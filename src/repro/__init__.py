@@ -11,7 +11,11 @@ Subpackages
 - ``repro.engines``  — Milvus/Qdrant/Weaviate/LanceDB-profile engines;
 - ``repro.workload`` — VectorDBBench-style closed-loop benchmark runner;
 - ``repro.trace``    — block-trace analysis (bandwidth, request sizes);
+- ``repro.faults``   — fault injection + resilience (beyond the paper);
 - ``repro.core``     — the study: figures, observation checks, reports.
+
+The architecture — how a query flows through these layers — is
+documented in ``docs/ARCHITECTURE.md``.
 """
 
 from repro.api import Session, open_engine
@@ -19,13 +23,16 @@ from repro.data.registry import load_dataset
 from repro.ann.workprofile import SearchResult
 from repro.engines.engine import IndexSpec, SearchRequest, VectorEngine
 from repro.engines.payload import Filter
+from repro.faults import FaultPlan, ResiliencePolicy
 from repro.workload.setup import make_runner
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "FaultPlan",
     "Filter",
     "IndexSpec",
+    "ResiliencePolicy",
     "SearchRequest",
     "SearchResult",
     "Session",

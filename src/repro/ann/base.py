@@ -7,7 +7,7 @@ import abc
 import numpy as np
 
 from repro.ann.workprofile import SearchResult
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 
 
 class VectorIndex(abc.ABC):
@@ -33,7 +33,7 @@ class VectorIndex(abc.ABC):
 
     def _require_built(self) -> None:
         if not self._built:
-            raise IndexError_(f"{self.kind} index searched before build()")
+            raise AnnIndexError(f"{self.kind} index searched before build()")
 
     @abc.abstractmethod
     def build(self, X: np.ndarray) -> "VectorIndex":

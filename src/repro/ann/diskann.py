@@ -32,7 +32,7 @@ from repro.ann.distance import prepare_query
 from repro.ann.pq import ProductQuantizer
 from repro.ann.vamana import VamanaGraph, build_vamana
 from repro.ann.workprofile import SearchResult, WorkProfile
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 from repro.prefetch import (CachePolicy, LookaheadPrefetcher, PrefetchStats,
                             make_policy)
 from repro.storage.spec import PAGE_SIZE
@@ -140,7 +140,7 @@ class DiskANNIndex(VectorIndex):
     def build(self, X: np.ndarray) -> "DiskANNIndex":
         X = np.asarray(X, dtype=np.float32)
         if X.ndim != 2 or X.shape[0] == 0:
-            raise IndexError_(f"DiskANN needs non-empty 2D data: {X.shape}")
+            raise AnnIndexError(f"DiskANN needs non-empty 2D data: {X.shape}")
         dim = X.shape[1]
         if self.storage_dim is None:
             self.storage_dim = dim
@@ -214,7 +214,7 @@ class DiskANNIndex(VectorIndex):
         if policy == self._policy_name:
             return
         if policy not in ("lru", "hotness"):
-            raise IndexError_(f"unknown cache policy {policy!r}")
+            raise AnnIndexError(f"unknown cache policy {policy!r}")
         self._policy_name = policy
         self._node_cache = self._make_node_cache(policy)
 
@@ -252,13 +252,33 @@ class DiskANNIndex(VectorIndex):
         """
         self._require_built()
         if cache_bytes < 0 or lru_bytes < 0:
-            raise IndexError_(
+            raise AnnIndexError(
                 f"negative cache budgets: {cache_bytes}/{lru_bytes}")
         self.cache_bytes = cache_bytes
         self.lru_bytes = lru_bytes
         self._build_caches(self.graph.n)
 
     # -- search -----------------------------------------------------------
+
+    @staticmethod
+    def degrade_search_params(params: dict, factor: float,
+                              k: int) -> dict:
+        """Shrunken search params for graceful degradation.
+
+        Under sustained device pressure the resilience layer trades
+        breadth for a bounded tail: ``search_list`` shrinks by *factor*
+        (floored at ``k`` — the candidate list can never return fewer
+        than the asked top-k) and ``beam_width`` shrinks alongside
+        (floored at 1), so each dependent round puts fewer reads on a
+        device that is already struggling to serve them.  All other
+        knobs (prefetch, cache policy) pass through unchanged.
+        """
+        out = dict(params)
+        if "search_list" in out:
+            out["search_list"] = max(k, int(out["search_list"] * factor))
+        if "beam_width" in out:
+            out["beam_width"] = max(1, int(out["beam_width"] * factor))
+        return out
 
     def search(self, query: np.ndarray, k: int, *, search_list: int = 10,
                beam_width: int = 4, prefetch_depth: int = 0,
@@ -279,11 +299,11 @@ class DiskANNIndex(VectorIndex):
         """
         self._require_built()
         if search_list < 1 or beam_width < 1:
-            raise IndexError_(
+            raise AnnIndexError(
                 f"bad params: search_list={search_list} "
                 f"beam_width={beam_width}")
         if prefetch_depth < 0:
-            raise IndexError_(f"bad prefetch_depth: {prefetch_depth}")
+            raise AnnIndexError(f"bad prefetch_depth: {prefetch_depth}")
         if cache_policy is not None:
             self.set_cache_policy(cache_policy)
         search_list = max(search_list, k)

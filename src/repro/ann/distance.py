@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 
 METRICS = ("l2", "ip", "cosine")
 
@@ -33,7 +33,7 @@ def distances(query: np.ndarray, Y: np.ndarray, metric: str) -> np.ndarray:
     Y = _as_2d(np.asarray(Y))
     query = np.asarray(query).reshape(-1)
     if query.shape[0] != Y.shape[1]:
-        raise IndexError_(
+        raise AnnIndexError(
             f"dimension mismatch: query {query.shape[0]} vs data {Y.shape[1]}")
     if metric == "l2":
         diff = Y - query
@@ -44,7 +44,7 @@ def distances(query: np.ndarray, Y: np.ndarray, metric: str) -> np.ndarray:
         similarity = (Y @ query) / (
             (np.linalg.norm(Y, axis=1) * np.linalg.norm(query)) + 1e-30)
         return -similarity
-    raise IndexError_(f"unknown metric {metric!r}; choose from {METRICS}")
+    raise AnnIndexError(f"unknown metric {metric!r}; choose from {METRICS}")
 
 
 def pairwise(X: np.ndarray, Y: np.ndarray, metric: str) -> np.ndarray:
@@ -52,7 +52,7 @@ def pairwise(X: np.ndarray, Y: np.ndarray, metric: str) -> np.ndarray:
     X = _as_2d(np.asarray(X, dtype=np.float32))
     Y = _as_2d(np.asarray(Y, dtype=np.float32))
     if X.shape[1] != Y.shape[1]:
-        raise IndexError_(
+        raise AnnIndexError(
             f"dimension mismatch: {X.shape[1]} vs {Y.shape[1]}")
     if metric == "l2":
         x_sq = np.einsum("ij,ij->i", X, X)[:, None]
@@ -66,7 +66,7 @@ def pairwise(X: np.ndarray, Y: np.ndarray, metric: str) -> np.ndarray:
         xn = np.linalg.norm(X, axis=1, keepdims=True) + 1e-30
         yn = np.linalg.norm(Y, axis=1, keepdims=True) + 1e-30
         return -((X / xn) @ (Y / yn).T)
-    raise IndexError_(f"unknown metric {metric!r}; choose from {METRICS}")
+    raise AnnIndexError(f"unknown metric {metric!r}; choose from {METRICS}")
 
 
 def prepare(X: np.ndarray, metric: str) -> tuple[np.ndarray, str]:
@@ -84,7 +84,7 @@ def prepare(X: np.ndarray, metric: str) -> tuple[np.ndarray, str]:
         return normalize(X), "l2n"
     if metric in ("l2", "ip"):
         return X, metric
-    raise IndexError_(f"unknown metric {metric!r}; choose from {METRICS}")
+    raise AnnIndexError(f"unknown metric {metric!r}; choose from {METRICS}")
 
 
 def prepare_query(query: np.ndarray, metric: str) -> np.ndarray:
@@ -112,7 +112,7 @@ def make_kernel(X: np.ndarray, internal_metric: str):
             diff = X[ids] - query
             return np.einsum("ij,ij->i", diff, diff)
         return kernel
-    raise IndexError_(f"no kernel for metric {internal_metric!r}")
+    raise AnnIndexError(f"no kernel for metric {internal_metric!r}")
 
 
 def top_k(dists: np.ndarray, k: int) -> np.ndarray:

@@ -7,7 +7,7 @@ import numpy as np
 from repro.ann.base import VectorIndex
 from repro.ann.distance import make_kernel, prepare, prepare_query, top_k
 from repro.ann.workprofile import SearchResult, WorkProfile
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 
 
 class FlatIndex(VectorIndex):
@@ -28,7 +28,7 @@ class FlatIndex(VectorIndex):
     def build(self, X: np.ndarray) -> "FlatIndex":
         X = np.asarray(X, dtype=np.float32)
         if X.ndim != 2 or X.shape[0] == 0:
-            raise IndexError_(f"flat index needs non-empty 2D data: {X.shape}")
+            raise AnnIndexError(f"flat index needs non-empty 2D data: {X.shape}")
         self._X, self._imetric = prepare(X, self.metric)
         self._built = True
         return self
@@ -36,7 +36,7 @@ class FlatIndex(VectorIndex):
     def search(self, query: np.ndarray, k: int, **params) -> SearchResult:
         self._require_built()
         if params:
-            raise IndexError_(f"flat index takes no search params: {params}")
+            raise AnnIndexError(f"flat index takes no search params: {params}")
         query = prepare_query(query, self.metric)
         dists = make_kernel(self._X, self._imetric)(query, slice(None))
         work = WorkProfile()

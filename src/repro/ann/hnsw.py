@@ -17,7 +17,7 @@ import numpy as np
 from repro.ann.base import VectorIndex
 from repro.ann.distance import make_kernel, prepare, prepare_query
 from repro.ann.workprofile import SearchResult, WorkProfile
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 
 
 class _EvalCounter:
@@ -47,7 +47,7 @@ class HNSWIndex(VectorIndex):
     def __init__(self, metric: str = "l2", M: int = 16,
                  ef_construction: int = 200, seed: int = 0) -> None:
         if M < 2:
-            raise IndexError_(f"M must be >= 2: {M}")
+            raise AnnIndexError(f"M must be >= 2: {M}")
         super().__init__(metric)
         self.M = M
         self.M0 = 2 * M                      # bottom layer allows 2M links
@@ -78,7 +78,7 @@ class HNSWIndex(VectorIndex):
     def build(self, X: np.ndarray) -> "HNSWIndex":
         X = np.asarray(X, dtype=np.float32)
         if X.ndim != 2 or X.shape[0] == 0:
-            raise IndexError_(f"HNSW needs non-empty 2D data: {X.shape}")
+            raise AnnIndexError(f"HNSW needs non-empty 2D data: {X.shape}")
         self._X, self._imetric = prepare(X, self.metric)
         self._kern = make_kernel(self._X, self._imetric)
         rng = np.random.default_rng(self.seed)
@@ -215,7 +215,7 @@ class HNSWIndex(VectorIndex):
         every node whose vector was read (for paged/mmap storage)."""
         self._require_built()
         if ef_search < 1:
-            raise IndexError_(f"ef_search must be >= 1: {ef_search}")
+            raise AnnIndexError(f"ef_search must be >= 1: {ef_search}")
         ef = max(ef_search, k)
         query = prepare_query(query, self.metric)
         counter = _EvalCounter(access_log)

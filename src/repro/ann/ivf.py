@@ -24,7 +24,7 @@ from repro.ann.distance import (distances, make_kernel, prepare,
 from repro.ann.kmeans import kmeans
 from repro.ann.pq import ProductQuantizer
 from repro.ann.workprofile import SearchResult, WorkProfile
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 from repro.storage.spec import PAGE_SIZE
 
 
@@ -74,14 +74,14 @@ class IVFIndex(VectorIndex):
     def build(self, X: np.ndarray) -> "IVFIndex":
         X = np.asarray(X, dtype=np.float32)
         if X.ndim != 2 or X.shape[0] == 0:
-            raise IndexError_(f"IVF needs non-empty 2D data: {X.shape}")
+            raise AnnIndexError(f"IVF needs non-empty 2D data: {X.shape}")
         X, self._imetric = prepare(X, self.metric)
         self._X = X
         n, dim = X.shape
         if self.nlist is None:
             self.nlist = default_nlist(n)
         if self.nlist > n:
-            raise IndexError_(f"nlist {self.nlist} exceeds dataset size {n}")
+            raise AnnIndexError(f"nlist {self.nlist} exceeds dataset size {n}")
 
         rng = np.random.default_rng(self.seed)
         sample = X if n <= self.train_points else (
@@ -130,7 +130,7 @@ class IVFIndex(VectorIndex):
                nprobe: int = 8) -> SearchResult:
         self._require_built()
         if nprobe < 1:
-            raise IndexError_(f"nprobe must be >= 1: {nprobe}")
+            raise AnnIndexError(f"nprobe must be >= 1: {nprobe}")
         nprobe = min(nprobe, self.nlist)
         query = prepare_query(query, self.metric)
         kernel = make_kernel(self._X, self._imetric)

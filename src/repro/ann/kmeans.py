@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ann.distance import pairwise
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 
 
 def kmeans_pp_init(X: np.ndarray, k: int,
@@ -41,10 +41,10 @@ def kmeans(X: np.ndarray, k: int, max_iters: int = 20,
     """
     X = np.asarray(X, dtype=np.float32)
     if X.ndim != 2 or X.shape[0] == 0:
-        raise IndexError_(f"kmeans needs a non-empty 2D array: {X.shape}")
+        raise AnnIndexError(f"kmeans needs a non-empty 2D array: {X.shape}")
     n = X.shape[0]
     if k <= 0:
-        raise IndexError_(f"k must be positive: {k}")
+        raise AnnIndexError(f"k must be positive: {k}")
     if k >= n:
         # Degenerate but legal: each point is its own centroid; surplus
         # centroids repeat the last point.

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ann.kmeans import kmeans
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 
 
 class ProductQuantizer:
@@ -24,9 +24,9 @@ class ProductQuantizer:
     def __init__(self, dim: int, m: int = 8, nbits: int = 8,
                  seed: int = 0) -> None:
         if dim % m != 0:
-            raise IndexError_(f"dim {dim} not divisible into {m} subspaces")
+            raise AnnIndexError(f"dim {dim} not divisible into {m} subspaces")
         if not 1 <= nbits <= 8:
-            raise IndexError_(f"nbits must be in [1, 8]: {nbits}")
+            raise AnnIndexError(f"nbits must be in [1, 8]: {nbits}")
         self.dim = dim
         self.m = m
         self.dsub = dim // m
@@ -42,7 +42,7 @@ class ProductQuantizer:
         """Learn per-subspace codebooks from training vectors."""
         X = np.asarray(X, dtype=np.float32)
         if X.ndim != 2 or X.shape[1] != self.dim:
-            raise IndexError_(f"bad training shape {X.shape} for dim "
+            raise AnnIndexError(f"bad training shape {X.shape} for dim "
                               f"{self.dim}")
         ksub = min(self.ksub, X.shape[0])
         self.codebooks = np.zeros((self.m, self.ksub, self.dsub),
@@ -64,7 +64,7 @@ class ProductQuantizer:
 
     def _require_trained(self) -> None:
         if not self.trained:
-            raise IndexError_("product quantizer used before train()")
+            raise AnnIndexError("product quantizer used before train()")
 
     def encode(self, X: np.ndarray) -> np.ndarray:
         """Quantize rows of *X* to (n, m) uint8 codes."""

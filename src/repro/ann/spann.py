@@ -31,7 +31,7 @@ from repro.ann.distance import make_kernel, prepare, prepare_query, top_k
 from repro.ann.hnsw import HNSWIndex
 from repro.ann.kmeans import kmeans
 from repro.ann.workprofile import SearchResult, WorkProfile
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 from repro.prefetch import CachePolicy, make_policy
 from repro.storage.spec import PAGE_SIZE
 
@@ -62,11 +62,11 @@ class SPANNIndex(VectorIndex):
                 ("hotness" keeps the most-probed cells resident).
         """
         if max_replicas < 1 or closure_eps < 0:
-            raise IndexError_(
+            raise AnnIndexError(
                 f"bad SPANN params: replicas={max_replicas} "
                 f"eps={closure_eps}")
         if list_cache_bytes < 0:
-            raise IndexError_(
+            raise AnnIndexError(
                 f"negative list cache budget: {list_cache_bytes}")
         super().__init__(metric)
         self.n_postings = n_postings
@@ -94,7 +94,7 @@ class SPANNIndex(VectorIndex):
     def build(self, X: np.ndarray) -> "SPANNIndex":
         X = np.asarray(X, dtype=np.float32)
         if X.ndim != 2 or X.shape[0] == 0:
-            raise IndexError_(f"SPANN needs non-empty 2D data: {X.shape}")
+            raise AnnIndexError(f"SPANN needs non-empty 2D data: {X.shape}")
         self._X, self._imetric = prepare(X, self.metric)
         n, dim = self._X.shape
         if self.storage_dim is None:
@@ -102,7 +102,7 @@ class SPANNIndex(VectorIndex):
         if self.n_postings is None:
             self.n_postings = max(8, n // 64)
         if self.n_postings > n:
-            raise IndexError_(
+            raise AnnIndexError(
                 f"n_postings {self.n_postings} exceeds dataset size {n}")
 
         rng = np.random.default_rng(self.seed)
@@ -186,12 +186,27 @@ class SPANNIndex(VectorIndex):
 
     # -- search -----------------------------------------------------------
 
+    @staticmethod
+    def degrade_search_params(params: dict, factor: float,
+                              k: int) -> dict:
+        """Shrunken search params for graceful degradation.
+
+        Probing fewer posting lists (``nprobe`` scaled by *factor*,
+        floored at 1) is SPANN's lever for shedding device load under
+        pressure: each dropped list is one fewer storage read round.
+        ``prune_eps`` and cache knobs pass through unchanged.
+        """
+        out = dict(params)
+        if "nprobe" in out:
+            out["nprobe"] = max(1, int(out["nprobe"] * factor))
+        return out
+
     def search(self, query: np.ndarray, k: int, *, nprobe: int = 8,
                prune_eps: float = 0.3) -> SearchResult:
         """Top-k via nprobe posting lists (after distance pruning)."""
         self._require_built()
         if nprobe < 1:
-            raise IndexError_(f"nprobe must be >= 1: {nprobe}")
+            raise AnnIndexError(f"nprobe must be >= 1: {nprobe}")
         nprobe = min(nprobe, self.n_postings)
         query = prepare_query(query, self.metric)
         work = WorkProfile()

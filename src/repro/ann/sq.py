@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 
 
 class ScalarQuantizer:
@@ -29,7 +29,7 @@ class ScalarQuantizer:
         """Learn per-dimension ranges from training vectors."""
         X = np.asarray(X, dtype=np.float32)
         if X.ndim != 2 or X.shape[0] == 0:
-            raise IndexError_(f"bad training shape: {X.shape}")
+            raise AnnIndexError(f"bad training shape: {X.shape}")
         self.lo = X.min(axis=0)
         span = X.max(axis=0) - self.lo
         span[span == 0.0] = 1.0
@@ -38,7 +38,7 @@ class ScalarQuantizer:
 
     def _require_trained(self) -> None:
         if not self.trained:
-            raise IndexError_("scalar quantizer used before train()")
+            raise AnnIndexError("scalar quantizer used before train()")
 
     def encode(self, X: np.ndarray) -> np.ndarray:
         """Quantize to uint8 codes of the same shape."""

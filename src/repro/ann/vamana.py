@@ -19,7 +19,7 @@ import typing as t
 import numpy as np
 
 from repro.ann.distance import make_kernel, prepare
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 
 Kernel = t.Callable[[np.ndarray, t.Any], np.ndarray]
 
@@ -146,11 +146,11 @@ def build_vamana(X: np.ndarray, metric: str = "l2", R: int = 32,
     """Two-pass Vamana construction (alpha=1 pass, then alpha pass)."""
     X = np.asarray(X, dtype=np.float32)
     if X.ndim != 2 or X.shape[0] == 0:
-        raise IndexError_(f"Vamana needs non-empty 2D data: {X.shape}")
+        raise AnnIndexError(f"Vamana needs non-empty 2D data: {X.shape}")
     if alpha < 1.0:
-        raise IndexError_(f"alpha must be >= 1.0: {alpha}")
+        raise AnnIndexError(f"alpha must be >= 1.0: {alpha}")
     if metric == "ip":
-        raise IndexError_(
+        raise AnnIndexError(
             "Vamana needs non-negative distances; use l2 or cosine")
     X, internal_metric = prepare(X, metric)
     kernel = make_kernel(X, internal_metric)

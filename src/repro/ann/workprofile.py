@@ -172,6 +172,15 @@ class SearchResult:
     ``dists`` are in the index's internal metric units — comparable
     across results of indexes built with the same metric, which is what
     cross-segment merging needs.
+
+    >>> import numpy as np
+    >>> from repro.ann.flat import FlatIndex
+    >>> index = FlatIndex().build(np.eye(3, dtype=np.float32))
+    >>> result = index.search(np.eye(3)[1], k=2)
+    >>> result.ids.tolist()
+    [1, 0]
+    >>> result.total_work.full_evals      # brute force scans all rows
+    3
     """
 
     ids: t.Any                    # np.ndarray of int64

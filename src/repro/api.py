@@ -1,14 +1,19 @@
 """The one-import facade over the engine and benchmark layers.
 
-Everything the examples and CLI need, behind four verbs::
+Everything the examples and CLI need, behind four verbs — create,
+insert, search, benchmark:
 
-    from repro.api import open_engine
-
-    session = open_engine("milvus")
-    session.create("docs", dim=64, index="diskann")
-    session.insert("docs", vectors)
-    result = session.search("docs", query, k=10, search_list=20)
-    run = session.run_bench("docs", queries, concurrency=8)
+>>> import numpy as np
+>>> from repro.api import open_engine
+>>> rng = np.random.default_rng(0)
+>>> session = open_engine("milvus")
+>>> _ = session.create("docs", dim=8, index="flat")
+>>> ids = session.insert(
+...     "docs", rng.standard_normal((64, 8), dtype=np.float32),
+...     flush=True)
+>>> hits = session.search("docs", rng.standard_normal(8), k=3)
+>>> len(hits.ids)
+3
 
 A :class:`Session` wraps one :class:`~repro.engines.VectorEngine`; the
 underlying layers (``session.engine``, collection objects,
@@ -32,6 +37,7 @@ from repro.workload.runner import BenchRunner, WriteLoad
 
 if t.TYPE_CHECKING:
     from repro.ann.workprofile import SearchResult
+    from repro.faults import FaultPlan, ResiliencePolicy
 
 
 def open_engine(profile: EngineProfile | str = "milvus",
@@ -41,6 +47,9 @@ def open_engine(profile: EngineProfile | str = "milvus",
     *profile* is an engine name (``"milvus"``, ``"qdrant"``,
     ``"weaviate"``, ``"lancedb"``) or an
     :class:`~repro.engines.EngineProfile`.
+
+    >>> open_engine("qdrant").profile.name
+    'qdrant'
     """
     return Session(VectorEngine(profile, seed=seed))
 
@@ -59,13 +68,20 @@ def open_bench(setup: str, dataset: str,
 
 
 class Session:
-    """All common operations of one engine, in facade form."""
+    """All common operations of one engine, in facade form.
+
+    >>> session = open_engine("milvus")
+    >>> _ = session.create("docs", dim=8, index="hnsw", M=8)
+    >>> session.collections()
+    ['docs']
+    """
 
     def __init__(self, engine: VectorEngine) -> None:
         self.engine = engine
 
     @property
     def profile(self) -> EngineProfile:
+        """The engine's behaviour profile (costs, caches, parallelism)."""
         return self.engine.profile
 
     # -- collection lifecycle ---------------------------------------------
@@ -78,6 +94,10 @@ class Session:
         *index* is an index kind (``"hnsw"``, ``"diskann"``, ...) plus
         keyword parameters, or a ready :class:`~repro.engines.IndexSpec`
         (in which case *metric*/params must be left at defaults).
+
+        >>> col = open_engine().create("d", dim=16, index="diskann", R=16)
+        >>> col.index_spec.kind
+        'diskann'
         """
         if isinstance(index, IndexSpec):
             spec = index
@@ -87,12 +107,15 @@ class Session:
                                              storage_dim=storage_dim)
 
     def drop(self, name: str) -> None:
+        """Drop a collection and everything in it."""
         self.engine.drop_collection(name)
 
     def collection(self, name: str) -> Collection:
+        """The named :class:`~repro.engines.Collection` object."""
         return self.engine.collection(name)
 
     def collections(self) -> list[str]:
+        """Names of all collections, in creation order."""
         return self.engine.list_collections()
 
     # -- data plane -------------------------------------------------------
@@ -100,16 +123,27 @@ class Session:
     def insert(self, name: str, vectors: np.ndarray,
                payloads: t.Sequence[Payload | None] | None = None,
                flush: bool = False) -> np.ndarray:
-        """Append vectors; ``flush=True`` seals and indexes right away."""
+        """Append vectors; ``flush=True`` seals and indexes right away.
+
+        Returns the assigned row ids:
+
+        >>> import numpy as np
+        >>> session = open_engine()
+        >>> _ = session.create("d", dim=4, index="flat")
+        >>> session.insert("d", np.eye(4, dtype=np.float32)).tolist()
+        [0, 1, 2, 3]
+        """
         ids = self.engine.insert(name, vectors, payloads)
         if flush:
             self.engine.flush(name)
         return ids
 
     def flush(self, name: str) -> None:
+        """Seal the growing buffer into an indexed segment."""
         self.engine.flush(name)
 
     def delete(self, name: str, row_ids: t.Iterable[int]) -> int:
+        """Tombstone rows by id; returns how many were newly deleted."""
         return self.engine.delete(name, row_ids)
 
     # -- search -----------------------------------------------------------
@@ -117,9 +151,22 @@ class Session:
     def search(self, name: str, query: t.Any, k: int = 10, *,
                filter: Filter | None = None,
                **params: t.Any) -> "SearchResult":
-        """Top-k search; *query* may also be a
-        :class:`~repro.engines.SearchRequest` (then *k*/params must be
-        left at defaults)."""
+        """Top-k search returning a
+        :class:`~repro.ann.workprofile.SearchResult`.
+
+        *query* may also be a :class:`~repro.engines.SearchRequest`
+        (then *k*/params must be left at defaults):
+
+        >>> import numpy as np
+        >>> from repro.engines import SearchRequest
+        >>> session = open_engine()
+        >>> _ = session.create("d", dim=4, index="flat")
+        >>> _ = session.insert("d", np.eye(4, dtype=np.float32),
+        ...                    flush=True)
+        >>> request = SearchRequest.of(np.eye(4)[0], k=2)
+        >>> session.search("d", request).ids.tolist()
+        [0, 1]
+        """
         if isinstance(query, SearchRequest):
             return self.engine.execute(name, query)
         return self.engine.search(name, query, k, filter_=filter, **params)
@@ -133,19 +180,37 @@ class Session:
                   duration_s: float = 4.0,
                   telemetry: RunTelemetry | bool | None = None,
                   write_load: WriteLoad | None = None,
+                  fault_plan: "FaultPlan | None" = None,
+                  resilience: "ResiliencePolicy | None" = None,
                   paper_n: int | None = None) -> RunResult:
         """One measured closed-loop run over a collection.
 
         Thin wrapper over :class:`~repro.workload.runner.BenchRunner`;
         build the runner directly for sweeps that should reuse its
-        compiled plans across concurrency levels.
+        compiled plans across concurrency levels.  ``fault_plan`` /
+        ``resilience`` attach fault injection and host-side defences
+        (see :mod:`repro.faults`).
+
+        >>> import numpy as np
+        >>> session = open_engine()
+        >>> _ = session.create("d", dim=8, index="flat")
+        >>> rng = np.random.default_rng(1)
+        >>> _ = session.insert(
+        ...     "d", rng.standard_normal((64, 8), dtype=np.float32),
+        ...     flush=True)
+        >>> run = session.run_bench(
+        ...     "d", rng.standard_normal((4, 8), dtype=np.float32),
+        ...     concurrency=2, duration_s=0.01)
+        >>> run.completed > 0 and run.qps > 0
+        True
         """
         runner = self.bench_runner(name, queries,
                                    ground_truth=ground_truth, k=k,
                                    paper_n=paper_n)
         return runner.run(concurrency, search_params=search_params,
                           duration_s=duration_s, telemetry=telemetry,
-                          write_load=write_load)
+                          write_load=write_load, fault_plan=fault_plan,
+                          resilience=resilience)
 
     def bench_runner(self, name: str, queries: np.ndarray, *,
                      ground_truth: np.ndarray | None = None, k: int = 10,

@@ -7,6 +7,7 @@ Examples::
     repro sweep -s milvus-hnsw -d cohere-1m
     repro figure 2                 # any of 2..15
     repro prefetch -d cohere-1m    # cache-policy + prefetch study
+    repro faults -d cohere-1m      # fault-injection + resilience study
     repro study -o report.txt      # everything, with observation checks
     repro prebuild                 # build & cache all collections
 """
@@ -137,6 +138,15 @@ def cmd_prefetch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    data = figures.resilience_comparison(
+        args.dataset, search_list=args.search_list,
+        concurrency=args.threads, duration_s=args.duration,
+        seed=args.seed)
+    print(report.render_resilience_comparison(data))
+    return 0 if all(data["verdicts"].values()) else 1
+
+
 def cmd_study(args: argparse.Namespace) -> int:
     results = run_study(datasets=args.datasets,
                         progress=lambda m: print(f"[study] {m}",
@@ -222,6 +232,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--search-list", type=int, default=50)
     p.add_argument("--threads", type=int, default=4)
     p.set_defaults(fn=cmd_prefetch)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection + resilience study (beyond the paper)")
+    p.add_argument("-d", "--dataset", required=True, choices=DATASET_NAMES)
+    p.add_argument("--search-list", type=int, default=50)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--duration", type=float, default=1.0,
+                   help="simulated seconds per run (default 1.0)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="fault plan + jitter seed (default 42)")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("study", help="run the whole evaluation")
     p.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),

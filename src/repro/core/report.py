@@ -117,6 +117,53 @@ def render_prefetch_comparison(data: dict) -> str:
             + format_table(headers, rows))
 
 
+def render_resilience_comparison(data: dict) -> str:
+    """Tables for the fault-injection & resilience study."""
+    headers = ["config", "qps", "mean us", "p99 us", "recall@10",
+               "timeouts", "retries", "hedges", "wins", "failed",
+               "degraded"]
+    rows = []
+    for label in data["configs"]:
+        entry = data["rows"][label]
+        degraded = entry.get("degraded_ratio")
+        rows.append([
+            label, _fmt(entry["qps"], 0), _fmt(entry["mean_us"], 0),
+            _fmt(entry["p99_us"], 0), _fmt(entry["recall"], 3),
+            entry.get("timeouts", ""), entry.get("retries", ""),
+            entry.get("hedges", ""), entry.get("hedge_wins", ""),
+            entry.get("failed_queries", ""),
+            "" if degraded is None else f"{degraded:.2%}"])
+    policy = data["policy"]
+    plan_lines = [
+        f"  [{w['start_s']:.2f}s, {w['end_s']:.2f}s) {w['kind']}: "
+        + ", ".join(f"{key}={value}" for key, value in w.items()
+                    if key not in ("kind", "start_s", "end_s"))
+        for w in data["plan"]]
+    verdict_rows = [[name, "HOLDS" if holds else "DIFFERS"]
+                    for name, holds in data["verdicts"].items()]
+    recon = data["reconciliation"]["faults+resilience"]
+    return "\n".join([
+        f"[{data['dataset']}] milvus-diskann, "
+        f"search_list={data['search_list']}, "
+        f"threads={data['concurrency']}",
+        "",
+        "fault plan:",
+        *plan_lines,
+        f"policy: timeout={policy['read_timeout_s'] * 1e6:.0f}us "
+        f"hedge_after={policy['hedge_after_s'] * 1e6:.0f}us "
+        f"retries<={policy['max_retries']} "
+        f"latency_budget={policy['latency_budget_s'] * 1e6:.0f}us",
+        "",
+        format_table(headers, rows),
+        "",
+        "fault ledger (faults+resilience): "
+        f"injector {recon['injected']} == telemetry == trace: "
+        f"{recon['ledgers_agree']}",
+        "",
+        format_table(["verdict", "holds"], verdict_rows),
+    ])
+
+
 def render_fig5(fig5: dict) -> str:
     blocks = []
     for dataset, entry in fig5["datasets"].items():
@@ -290,6 +337,27 @@ def write_experiments_md(results: StudyResults, path: str) -> None:
         render_beamwidth_sweep(results.fig12_15),
         "```",
         "",
+    ]
+    if results.resilience is not None:
+        lines += [
+            "## Fault injection & resilience (beyond the paper)",
+            "",
+            "Healthy vs faulted vs defended runs under the reference "
+            "fault plan (see docs/FAULT_MODEL.md).  The defences — "
+            "read timeouts with retry, hedged reads, graceful "
+            "degradation — should recover most of the injected P99 at "
+            "equal-or-better recall@10.",
+            "",
+            "```",
+            render_resilience_comparison(results.resilience),
+            "```",
+            "",
+        ]
+        for name, holds in results.resilience["verdicts"].items():
+            lines.append(f"- **{'HOLDS' if holds else 'DIFFERS'}** — "
+                         f"{name.replace('_', ' ')}")
+        lines.append("")
+    lines += [
         "## Observation verdicts",
         "",
         "| obs | verdict | paper claim | measured |",
@@ -351,6 +419,13 @@ def render_study(results: StudyResults) -> str:
         render_searchlist_sweep(results.fig7_11),
         "\n== Figures 12-15: the effect of beam_width",
         render_beamwidth_sweep(results.fig12_15),
+    ]
+    if results.resilience is not None:
+        sections += [
+            "\n== Fault injection & resilience (beyond the paper)",
+            render_resilience_comparison(results.resilience),
+        ]
+    sections += [
         "\n== Observations and key findings",
         render_observations(results.checks, results.key_findings),
     ]

@@ -33,6 +33,11 @@ class StudyResults:
     fig12_15: dict
     checks: list[ObservationCheck]
     key_findings: dict[str, bool]
+    #: The fault-injection & resilience study (beyond the paper):
+    #: healthy vs faulted vs defended runs on the first dataset, with
+    #: ledger reconciliation and verdicts (see
+    #: :func:`repro.core.figures.resilience_comparison`).
+    resilience: dict | None = None
 
     @property
     def holds(self) -> dict[str, bool]:
@@ -96,6 +101,8 @@ def run_study(datasets: t.Sequence[str] = DATASET_NAMES,
     fig7_11 = figures.fig7_to_11_data(datasets, search_lists)
     report("Figures 12-15: beam_width sweeps")
     fig12_15 = figures.fig12_to_15_data(datasets, beam_widths)
+    report("fault injection & resilience study")
+    resilience = figures.resilience_comparison(datasets[0])
     report("checking observations")
     checks = run_observation_checks(fig2, fig3, fig5, fig6, fig7_11,
                                     fig12_15)
@@ -103,4 +110,5 @@ def run_study(datasets: t.Sequence[str] = DATASET_NAMES,
         ssd_baseline=ssd, table2=table2, fig2=fig2, fig3=fig3, fig4=fig4,
         fig5=fig5, fig6=fig6, fig7_11=fig7_11, fig12_15=fig12_15,
         checks=checks,
-        key_findings=observations.key_findings(checks))
+        key_findings=observations.key_findings(checks),
+        resilience=resilience)

@@ -81,6 +81,12 @@ class SearchRequest:
     The keyword-argument spelling ``collection.search(q, k, **params)``
     stays available; a request object is the hashable, serializable
     form used by the :mod:`repro.api` facade and batch drivers.
+
+    >>> request = SearchRequest.of([1.0, 0.0], k=5, ef_search=32)
+    >>> request.k
+    5
+    >>> request.param_dict
+    {'ef_search': 32}
     """
 
     query: t.Any                   # np.ndarray (1D)

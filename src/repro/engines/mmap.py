@@ -24,7 +24,7 @@ import numpy as np
 from repro.ann.base import VectorIndex
 from repro.ann.hnsw import HNSWIndex
 from repro.ann.workprofile import IoStep, SearchResult
-from repro.errors import IndexError_
+from repro.errors import AnnIndexError
 from repro.storage.pagecache import PageCache, merge_pages
 from repro.storage.spec import PAGE_SIZE
 
@@ -109,7 +109,7 @@ def wrap_mmap(index: HNSWIndex, storage_dim: int, cache_bytes: int,
               cache_policy: str = "lru") -> MmapHNSWIndex:
     """Adapt an already-built HNSW index to mmap-backed storage."""
     if not index.built:
-        raise IndexError_("wrap_mmap needs a built HNSW index")
+        raise AnnIndexError("wrap_mmap needs a built HNSW index")
     wrapper = MmapHNSWIndex.__new__(MmapHNSWIndex)
     VectorIndex.__init__(wrapper, index.metric)
     wrapper.inner = index

@@ -23,7 +23,15 @@ from repro.prefetch import POLICY_NAMES
 
 @dataclasses.dataclass(frozen=True)
 class IndexParams:
-    """Base class: common conversion/validation helpers."""
+    """Base class: common conversion/validation helpers.
+
+    >>> HNSWParams(M=8).as_dict()
+    {'M': 8, 'ef_construction': 200}
+    >>> make_params("hnsw", M=0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.EngineError: HNSWParams.M must be positive: 0
+    """
 
     def as_dict(self) -> dict[str, t.Any]:
         """All parameters (defaults included) as a plain dict."""
@@ -165,6 +173,9 @@ def make_params(kind: str, **params: t.Any) -> IndexParams:
     Unknown parameter names raise :class:`~repro.errors.EngineError`
     listing the valid ones — the typo protection the old tuple encoding
     never had.
+
+    >>> make_params("diskann", R=16)
+    DiskANNParams(R=16, L_build=96, alpha=1.3)
     """
     cls = PARAM_TYPES.get(kind)
     if cls is None:

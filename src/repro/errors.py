@@ -2,10 +2,20 @@
 
 Every error raised by this library derives from :class:`ReproError` so
 that callers can catch library failures with a single ``except`` clause
-while still distinguishing the failure domain.
+while still distinguishing the failure domain.  The full hierarchy is
+documented in ``docs/ARCHITECTURE.md`` ("Error hierarchy").
+
+Example::
+
+    >>> from repro.errors import AnnIndexError, ReproError
+    >>> issubclass(AnnIndexError, ReproError)
+    True
 """
 
 from __future__ import annotations
+
+import dataclasses
+import typing as t
 
 
 class ReproError(Exception):
@@ -20,8 +30,27 @@ class StorageError(ReproError):
     """A storage-substrate operation failed (bad offset, device full...)."""
 
 
-class IndexError_(ReproError):
+class FaultError(StorageError):
+    """A device read failed permanently under fault injection.
+
+    Raised on the replay path when an injected transient fault outlives
+    the resilience policy's retry budget (``max_retries`` exhausted).
+    Without a resilience policy the simulated device never *fails* a
+    read — injected faults only delay it — so this error can only
+    originate from the resilience machinery giving up.
+    """
+
+
+class AnnIndexError(ReproError):
     """An ANN index was misused (searching before building, bad params)."""
+
+
+#: Deprecated alias of :class:`AnnIndexError` (pre-1.2 spelling with the
+#: trailing underscore that dodged the ``IndexError`` builtin).  Existing
+#: ``except IndexError_`` / ``pytest.raises(IndexError_)`` code keeps
+#: working because it *is* the same class; new code should use
+#: :class:`AnnIndexError`.
+IndexError_ = AnnIndexError
 
 
 class DatasetError(ReproError):
@@ -46,3 +75,33 @@ class CollectionNotFoundError(EngineError):
 
 class WorkloadError(ReproError):
     """An experiment or workload configuration is invalid."""
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradedResult:
+    """Record of graceful degradation applied during a benchmark run.
+
+    Not an exception: degradation is the *soft-failure* outcome — under
+    sustained device pressure the search shrank its parameters (e.g.
+    DiskANN's ``beam_width``/``search_list``) instead of blowing the
+    latency budget, and the run result reports that it did.
+
+    Example::
+
+        >>> d = DegradedResult(queries=5, total=100,
+        ...                    params={"search_list": 10})
+        >>> d.ratio
+        0.05
+    """
+
+    #: Queries replayed with the degraded parameter set.
+    queries: int
+    #: Total completed queries in the run.
+    total: int
+    #: The degraded search parameters that were substituted.
+    params: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of completed queries that ran degraded."""
+        return self.queries / self.total if self.total else 0.0

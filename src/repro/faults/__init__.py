@@ -1,0 +1,43 @@
+"""Fault injection and resilience for the simulated storage stack.
+
+The paper characterizes storage-based ANNS on a *healthy* SSD; this
+package asks what happens when the device misbehaves — and what the
+host can do about it.  Three pieces:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`: a deterministic,
+  seedable schedule of fault windows (latency spikes, tail
+  amplification, transient read errors, bandwidth throttling);
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: the device-side
+  injection point, with per-kind attribution counters;
+* :mod:`repro.faults.resilience` — :class:`ResiliencePolicy`: timeouts
+  with exponential-backoff-and-jitter retries, hedged reads, and
+  graceful search-parameter degradation.
+
+Both halves plug into :meth:`repro.workload.runner.BenchRunner.run`
+(``fault_plan=`` / ``resilience=``); ``repro faults`` runs the study
+comparing P99/recall with and without the defences under one plan.
+The architecture and the full fault model are documented in
+``docs/ARCHITECTURE.md`` and ``docs/FAULT_MODEL.md``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (FAULT_KINDS, FaultEffect, FaultPlan,
+                               FaultWindow, LatencySpike, ReadError,
+                               TailAmplification, Throttle)
+from repro.faults.resilience import (PressureTracker, ResiliencePolicy,
+                                     degraded_search_params)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEffect",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultWindow",
+    "LatencySpike",
+    "PressureTracker",
+    "ReadError",
+    "ResiliencePolicy",
+    "TailAmplification",
+    "Throttle",
+    "degraded_search_params",
+]

@@ -11,7 +11,9 @@ went — the stages of the paper's query path:
 * ``cpu_wait`` — time runnable but queued for a core;
 * ``device`` — time blocked on *demand* block-device rounds;
 * ``prefetch`` — time blocked joining speculative reads still in
-  flight (zero when the look-ahead fully overlapped them).
+  flight (zero when the look-ahead fully overlapped them);
+* ``fault`` — fault-handling overhead: abandoned (timed-out) read
+  waits and retry backoff sleeps (zero on a healthy run).
 
 Stage timings are kept both per segment (:class:`SegmentTiming`, one per
 searched segment, mirroring Milvus's intra-query parallelism) and as
@@ -26,7 +28,8 @@ from __future__ import annotations
 import dataclasses
 import typing as t
 
-STAGES = ("rpc", "pool_wait", "cpu", "cpu_wait", "device", "prefetch")
+STAGES = ("rpc", "pool_wait", "cpu", "cpu_wait", "device", "prefetch",
+          "fault")
 
 
 @dataclasses.dataclass
@@ -59,6 +62,8 @@ class QuerySpan:
     cold: bool                  # replayed the cold (post-drop) plan?
     start_s: float
     end_s: float = 0.0
+    #: Replayed with degraded (pressure-shrunken) search parameters?
+    degraded: bool = False
     stages: dict[str, float] = dataclasses.field(default_factory=dict)
     segments: dict[int, SegmentTiming] = dataclasses.field(
         default_factory=dict)
@@ -111,6 +116,7 @@ class QuerySpan:
             "index": self.index,
             "client_id": self.client_id,
             "cold": self.cold,
+            "degraded": self.degraded,
             "start_s": self.start_s,
             "end_s": self.end_s,
             "stages": dict(self.stages),
@@ -127,10 +133,11 @@ class QuerySpan:
 
     @classmethod
     def from_dict(cls, data: dict[str, t.Any]) -> "QuerySpan":
-        # Prefetch fields default to 0 for spans exported before the
-        # prefetch subsystem existed.
+        # Prefetch/fault fields default to 0/False for spans exported
+        # before those subsystems existed.
         span = cls(query_id=data["query_id"], index=data["index"],
                    client_id=data["client_id"], cold=data["cold"],
+                   degraded=data.get("degraded", False),
                    start_s=data["start_s"], end_s=data["end_s"],
                    stages=dict(data["stages"]),
                    read_bytes=data["read_bytes"],

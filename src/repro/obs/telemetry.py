@@ -42,6 +42,10 @@ class RunTelemetry:
                                               SIZE_BUCKETS)
         self.queue_depth: dict[str, Histogram] = {}
         self.counters: dict[str, Counter] = {}
+        #: Duration of each completed demand read round — the healthy
+        #: distribution from which a P99-based hedge delay is derived
+        #: (see :func:`repro.faults.resilience.ResiliencePolicy`).
+        self.device_round = Histogram("device_round_s", LATENCY_BUCKETS_S)
 
     # -- span lifecycle (called by the runner) ---------------------------
 
@@ -71,6 +75,8 @@ class RunTelemetry:
                 span.prefetch_useful + span.prefetch_wasted)
             self.counter("prefetch_useful").inc(span.prefetch_useful)
             self.counter("prefetch_wasted").inc(span.prefetch_wasted)
+        if span.degraded:
+            self.counter("degraded_queries").inc()
 
     # -- hooks (called by instrumented components) -----------------------
 
@@ -95,6 +101,15 @@ class RunTelemetry:
         else:
             self.counter("device_write_requests").inc(len(requests))
             self.counter("device_write_bytes").inc(total)
+
+    def on_fault(self, kind: str) -> None:
+        """Record one injected fault (called by the fault injector)."""
+        self.counter(f"fault_injected_{kind}").inc()
+
+    def on_resilience(self, event: str, amount: int = 1) -> None:
+        """Record resilience actions: ``timeouts``, ``retries``,
+        ``hedges``, ``hedge_wins``, or ``read_failures``."""
+        self.counter(f"resilience_{event}").inc(amount)
 
     def observe_queue_depth(self, resource: str, depth: int) -> None:
         """Sample a resource's wait-queue depth at request arrival."""
@@ -158,6 +173,14 @@ class RunTelemetry:
             if span.prefetch_useful + span.prefetch_wasted)
         read = self.counters.get("device_read_bytes", Counter("")).value
         return wasted_bytes / read if read else 0.0
+
+    @property
+    def degraded_query_ratio(self) -> float:
+        """Fraction of spans replayed with degraded search parameters."""
+        if not self.spans:
+            return 0.0
+        return (sum(1 for span in self.spans if span.degraded)
+                / len(self.spans))
 
     def cache_hit_rate(self, cache: str) -> float:
         """Hit fraction of one named cache (0.0 when never accessed)."""

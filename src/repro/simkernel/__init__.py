@@ -7,7 +7,7 @@ available offline): processes are generators yielding events.
 """
 
 from repro.simkernel.env import Environment, Process
-from repro.simkernel.events import AllOf, AnyOf, Event, Timeout
+from repro.simkernel.events import AllOf, AnyOf, Event, Race, Timeout
 from repro.simkernel.resources import Resource
 
 __all__ = [
@@ -16,6 +16,7 @@ __all__ = [
     "Environment",
     "Event",
     "Process",
+    "Race",
     "Resource",
     "Timeout",
 ]

@@ -23,7 +23,7 @@ import itertools
 import typing as t
 
 from repro.errors import SimulationError
-from repro.simkernel.events import AllOf, AnyOf, Event, Timeout
+from repro.simkernel.events import AllOf, AnyOf, Event, Race, Timeout
 
 
 class Process(Event):
@@ -90,6 +90,10 @@ class Environment:
     def any_of(self, events: t.Sequence[Event]) -> AnyOf:
         """Create an event that fires when any of *events* has fired."""
         return AnyOf(self, events)
+
+    def race(self, events: t.Sequence[Event]) -> Race:
+        """An event firing with the index of the first of *events* done."""
+        return Race(self, events)
 
     # -- scheduling and the main loop -----------------------------------
 

@@ -113,3 +113,29 @@ class AnyOf(Event):
     def _on_child(self, event: Event) -> None:
         if not self.triggered:
             self.succeed(event.value)
+
+
+class Race(Event):
+    """An event that fires with the *index* of its first-processed child.
+
+    Unlike :class:`AnyOf` — whose value is the winning child's value and
+    therefore cannot distinguish children that carry no value — a Race
+    tells the waiter *which* event won.  This is the primitive behind
+    fault-handling control flow: racing a device read against a timeout
+    (``0`` = the read landed, ``1`` = it timed out) or against a hedged
+    duplicate read.  Ties are resolved by scheduling order, so a read
+    completing exactly at its deadline still counts as a completion.
+    """
+
+    def __init__(self, env: "Environment", events: t.Sequence[Event]) -> None:
+        super().__init__(env)
+        if not events:
+            raise SimulationError("Race requires at least one event")
+        for position, event in enumerate(events):
+            event._wait(self._make_callback(position))
+
+    def _make_callback(self, position: int) -> Callback:
+        def on_child(_event: Event) -> None:
+            if not self.triggered:
+                self.succeed(position)
+        return on_child

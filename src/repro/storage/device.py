@@ -35,14 +35,24 @@ class SimSSD:
 
     def __init__(self, env: Environment, spec: DeviceSpec,
                  tracer: BlockTracer | None = None,
-                 telemetry: t.Any = None) -> None:
+                 telemetry: t.Any = None,
+                 injector: t.Any = None) -> None:
         """``telemetry`` is an optional
         :class:`~repro.obs.telemetry.RunTelemetry`; every submitted batch
-        is reported to it (request-size histogram, byte counters)."""
+        is reported to it (request-size histogram, byte counters).
+
+        ``injector`` is an optional
+        :class:`~repro.faults.injector.FaultInjector`: each *read*
+        request is passed through it at submission, and any returned
+        effect stretches that request's occupancy and/or completion
+        latency.  An injector with an empty plan never returns effects,
+        leaving timing bit-identical to running without one.
+        """
         self.env = env
         self.spec = spec
         self.tracer = tracer if tracer is not None else BlockTracer(False)
         self.telemetry = telemetry
+        self.injector = injector
         self._channel_free = [0.0] * spec.channels
         heapq.heapify(self._channel_free)
         self._occupancy_integral = 0.0
@@ -88,13 +98,21 @@ class SimSSD:
                                             speculative=speculative)
         batch_done = now
         for offset, size in requests:
-            self.tracer.record(now, op, offset, size)
             occupancy = occupancy_of(size)
+            extra = 0.0
+            fault_kind = None
+            if self.injector is not None and op == "R":
+                effect = self.injector.on_read(now, offset, size)
+                if effect is not None:
+                    occupancy *= effect.occupancy_multiplier
+                    extra = effect.extra_s
+                    fault_kind = effect.kind
+            self.tracer.record(now, op, offset, size, fault=fault_kind)
             free_at = heapq.heappop(self._channel_free)
             done = max(now, free_at) + occupancy
             heapq.heappush(self._channel_free, done)
             self._occupancy_integral += occupancy
-            batch_done = max(batch_done, done + access)
+            batch_done = max(batch_done, done + access + extra)
         return self.env.timeout(batch_done - now)
 
     def read(self, offset: int, size: int) -> Event:

@@ -21,6 +21,11 @@ class TraceRecord:
     op: str          # "R" or "W"
     offset: int      # bytes from device start
     size: int        # bytes
+    #: Fault kind(s) injected into this request ("+"-joined when several
+    #: windows overlap), or None for a healthy request.  This is the
+    #: per-request attribution that lets a trace reconcile against the
+    #: fault plan's injection counters.
+    fault: str | None = None
 
 
 class BlockTracer:
@@ -36,10 +41,11 @@ class BlockTracer:
         self._records: list[TraceRecord] = []
 
     def record(self, timestamp: float, op: str, offset: int,
-               size: int) -> None:
+               size: int, fault: str | None = None) -> None:
         """Record one request issue; no-op when tracing is disabled."""
         if self.enabled:
-            self._records.append(TraceRecord(timestamp, op, offset, size))
+            self._records.append(TraceRecord(timestamp, op, offset, size,
+                                             fault))
 
     def clear(self) -> None:
         """Drop all accumulated records (start of a new run)."""
@@ -58,6 +64,20 @@ class BlockTracer:
         """Sum of request sizes, optionally filtered by direction."""
         return sum(r.size for r in self._records
                    if op is None or r.op == op)
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault attribution: records per fault kind.
+
+        A record hit by several overlapping windows carries a
+        "+"-joined kind string and counts once per component kind, so
+        these totals reconcile with the injector's per-kind counters.
+        """
+        counts: dict[str, int] = {}
+        for record in self._records:
+            if record.fault is not None:
+                for kind in record.fault.split("+"):
+                    counts[kind] = counts.get(kind, 0) + 1
+        return counts
 
     def window(self, start: float, end: float) -> list[TraceRecord]:
         """Records with ``start <= timestamp < end``."""

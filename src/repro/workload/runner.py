@@ -35,7 +35,10 @@ from repro.data.groundtruth import recall_at_k
 from repro.engines.costmodel import CostModel
 from repro.engines.engine import Collection, VectorEngine
 from repro.engines.profiles import PAPER_CPU_CORES
-from repro.errors import OutOfMemoryError, WorkloadError
+from repro.errors import (DegradedResult, FaultError, OutOfMemoryError,
+                          WorkloadError)
+from repro.faults import (FaultInjector, FaultPlan, PressureTracker,
+                          ResiliencePolicy, degraded_search_params)
 from repro.obs import RunTelemetry
 from repro.simkernel import Environment, Resource
 from repro.storage.blockfile import ExtentAllocator
@@ -252,7 +255,9 @@ class BenchRunner:
             duration_s: float = 4.0, max_queries: int = 25_000,
             trace: bool = False, phase: int = 0,
             write_load: WriteLoad | None = None,
-            telemetry: RunTelemetry | bool | None = None) -> RunResult:
+            telemetry: RunTelemetry | bool | None = None,
+            fault_plan: FaultPlan | None = None,
+            resilience: ResiliencePolicy | None = None) -> RunResult:
         """One measured run at one concurrency level.
 
         ``phase`` offsets each client's starting query (the repetition
@@ -265,12 +270,29 @@ class BenchRunner:
         shared histograms.  Telemetry is passive — with it off (the
         default) or on, the simulated schedule and every reported number
         are identical.
+
+        ``fault_plan`` attaches a :class:`~repro.faults.FaultPlan` to the
+        device's read path; its windows are positioned on this run's
+        simulated timeline (t=0 is run start).  An empty plan — or none —
+        leaves every number bit-identical to an unfaulted run.
+
+        ``resilience`` deploys host-side defences on the demand-read
+        path (timeout+retry, hedged reads, graceful degradation; see
+        :class:`~repro.faults.ResiliencePolicy`).  A query whose read
+        exhausts its retry budget is dropped from the latency/QPS
+        population and counted under ``result.faults["failed_queries"]``;
+        if *every* query fails, the run raises
+        :class:`~repro.errors.FaultError`.  With degradation enabled,
+        the reported recall is the completion-weighted mix of the full
+        and degraded plans' compile-time recalls.
         """
         if concurrency < 1:
             raise WorkloadError(f"concurrency must be >= 1: {concurrency}")
         telem = RunTelemetry() if telemetry is True else (telemetry or None)
         params = dict(search_params or {})
         profile = self.engine.profile
+        resil = (resilience
+                 if resilience is not None and resilience.active else None)
 
         def failure(reason: str) -> RunResult:
             return RunResult(
@@ -290,9 +312,25 @@ class BenchRunner:
 
         cache_base = self._cache_counters() if telem is not None else {}
         cold, warm, recall = self._compile(params)
+        degraded_cold = degraded_warm = None
+        recall_degraded: float | None = None
+        degraded_params: dict[str, t.Any] = {}
+        tracker = None
+        if resil is not None and resil.degrade:
+            degraded_params = (dict(resil.degrade_params)
+                               if resil.degrade_params is not None
+                               else degraded_search_params(
+                                   self.collection.index_spec.kind,
+                                   params, resil.degrade_factor, self.k))
+            degraded_cold, degraded_warm, recall_degraded = self._compile(
+                degraded_params)
+            tracker = PressureTracker(resil)
         env = Environment()
         tracer = BlockTracer(enabled=trace)
-        device = SimSSD(env, self.device_spec, tracer, telemetry=telem)
+        injector = (FaultInjector(fault_plan, telemetry=telem)
+                    if fault_plan is not None else None)
+        device = SimSSD(env, self.device_spec, tracer, telemetry=telem,
+                        injector=injector)
         cores = Resource(env, self.cores, name="cores", telemetry=telem)
         pool_size = getattr(profile, "diskann_pool", 0)
         pool = (Resource(env, pool_size, name="diskann_pool",
@@ -303,10 +341,87 @@ class BenchRunner:
                      / min(concurrency, profile.batch_cap))
         state = _RunState(n_queries=len(self.queries),
                           max_queries=max_queries)
+        resilient_reads = resil is not None and (
+            resil.read_timeout_s is not None
+            or resil.hedge_after_s is not None)
+        rcounts: collections.Counter[str] = collections.Counter()
+        retry_token = [0]    # global retry ordinal (jitter decorrelation)
+
+        def note(event: str) -> None:
+            rcounts[event] += 1
+            if telem is not None:
+                telem.on_resilience(event)
+
+        def read_attempt(payload, timing):
+            """One submission of a demand round, raced against the
+            policy's hedge delay and deadline.  Returns True when the
+            data landed (from either copy), False on timeout."""
+            done = device.submit(payload, "R")
+            if timing is not None:
+                timing.read_requests += len(payload)
+                timing.read_bytes += sum(size for _off, size in payload)
+            races = [done]
+            deadline = resil.read_timeout_s
+            if (resil.hedge_after_s is not None
+                    and (deadline is None
+                         or resil.hedge_after_s < deadline)):
+                winner = yield env.race(
+                    [done, env.timeout(resil.hedge_after_s)])
+                if winner == 0:
+                    return True
+                hedged = device.submit(payload, "R")
+                if timing is not None:
+                    timing.read_requests += len(payload)
+                    timing.read_bytes += sum(
+                        size for _off, size in payload)
+                note("hedges")
+                races = [done, hedged]
+                if deadline is not None:
+                    deadline -= resil.hedge_after_s
+            if deadline is None:
+                winner = yield env.race(races)
+            else:
+                winner = yield env.race(races + [env.timeout(deadline)])
+                if winner == len(races):
+                    return False
+            if winner == 1 and len(races) > 1:
+                note("hedge_wins")
+            return True
+
+        def resilient_read(payload, timing, span):
+            """A demand round under the resilience policy: retry with
+            exponential backoff after each timeout.  Returns False when
+            the original plus ``max_retries`` resubmissions all timed
+            out (the round failed permanently)."""
+            attempt = 0
+            while True:
+                started = env.now
+                landed = yield from read_attempt(payload, timing)
+                if landed:
+                    if timing is not None:
+                        timing.device_s += env.now - started
+                    if telem is not None:
+                        telem.device_round.observe(env.now - started)
+                    return True
+                note("timeouts")
+                if span is not None:
+                    span.add_stage("fault", env.now - started)
+                if attempt >= resil.max_retries:
+                    note("read_failures")
+                    return False
+                attempt += 1
+                note("retries")
+                backoff = resil.backoff_s(attempt, retry_token[0])
+                retry_token[0] += 1
+                if backoff > 0:
+                    yield env.timeout(backoff)
+                    if span is not None:
+                        span.add_stage("fault", backoff)
 
         def segment_proc(steps: list[CompiledStep], span=None,
                          seg: int = 0, cache_hits: int = 0,
-                         prefetch: tuple[int, int] = (0, 0)):
+                         prefetch: tuple[int, int] = (0, 0),
+                         failed: list | None = None):
             timing = span.segment(seg) if span is not None else None
             if timing is not None:
                 timing.cache_hits += cache_hits
@@ -341,7 +456,16 @@ class BenchRunner:
                         if timing is not None:
                             timing.prefetch_wait_s += env.now - waited_at
                 else:
-                    if timing is None:
+                    if resilient_reads:
+                        landed = yield from resilient_read(payload, timing,
+                                                           span)
+                        if not landed:
+                            # Permanent read failure: abandon this
+                            # segment; the query is counted as failed.
+                            if failed is not None:
+                                failed[0] = True
+                            return
+                    elif timing is None:
                         yield device.submit(payload, "R")
                     else:
                         submitted_at = env.now
@@ -350,11 +474,13 @@ class BenchRunner:
                         timing.read_requests += len(payload)
                         timing.read_bytes += sum(
                             size for _off, size in payload)
+                        telem.device_round.observe(env.now - submitted_at)
             # Speculative reads never joined (the wasted ones) complete
             # in the background; their channel occupancy is already
             # accounted at submission.
 
         def query_proc(plan: CompiledQuery, span=None):
+            failed = [False]
             if profile.rpc_s:
                 yield env.timeout(profile.rpc_s / 2)
                 if span is not None:
@@ -377,7 +503,7 @@ class BenchRunner:
                 if parallel:
                     yield env.all_of([
                         env.process(segment_proc(steps, span, seg, hits,
-                                                 pf))
+                                                 pf, failed))
                         for seg, (steps, hits, pf) in enumerate(
                             zip(plan.segments, plan.cache_hits,
                                 plan.prefetch))])
@@ -386,7 +512,9 @@ class BenchRunner:
                             zip(plan.segments, plan.cache_hits,
                                 plan.prefetch)):
                         yield from segment_proc(steps, span, seg, hits,
-                                                pf)
+                                                pf, failed)
+                        if failed[0]:
+                            break
             finally:
                 if pool is not None:
                     pool.release()
@@ -394,6 +522,7 @@ class BenchRunner:
                 yield env.timeout(profile.rpc_s / 2)
                 if span is not None:
                     span.add_stage("rpc", profile.rpc_s / 2)
+            return failed[0]
 
         def client(client_id: int):
             while env.now < duration_s and state.issued < state.max_queries:
@@ -407,14 +536,30 @@ class BenchRunner:
                 # client_id + phase, so gating on it replayed some
                 # indexes cold twice and others never.)
                 cold_replay = state.first_touch(index)
-                plan = cold[index] if cold_replay else warm[index]
+                degraded = tracker is not None and tracker.degraded
+                if degraded:
+                    plan = (degraded_cold if cold_replay
+                            else degraded_warm)[index]
+                else:
+                    plan = cold[index] if cold_replay else warm[index]
                 span = (telem.begin_query(ordinal, index, client_id,
                                           cold_replay, env.now)
                         if telem is not None else None)
+                if span is not None and degraded:
+                    span.degraded = True
                 start = env.now
-                yield from query_proc(plan, span)
-                state.latencies.append(env.now - start)
-                state.last_completion = env.now
+                query_failed = yield from query_proc(plan, span)
+                latency = env.now - start
+                if tracker is not None:
+                    tracker.on_completion(latency,
+                                          failed=bool(query_failed))
+                if query_failed:
+                    state.failures += 1
+                else:
+                    state.latencies.append(latency)
+                    state.last_completion = env.now
+                    if degraded:
+                        state.degraded_completions += 1
                 if span is not None:
                     telem.end_query(span, env.now)
 
@@ -447,9 +592,33 @@ class BenchRunner:
 
         completed = len(state.latencies)
         if completed == 0:
+            if state.failures:
+                raise FaultError(
+                    f"all {state.failures} queries failed: demand reads "
+                    f"exhausted their retry budget under the fault plan")
             raise WorkloadError(
                 "run completed no queries; duration too short?")
         elapsed = max(state.last_completion, 1e-9)
+        if (tracker is not None and state.degraded_completions
+                and recall is not None and recall_degraded is not None):
+            # Completion-weighted recall: queries replayed degraded
+            # contribute the degraded plan's compile-time recall.
+            fraction = state.degraded_completions / completed
+            recall = recall * (1.0 - fraction) + recall_degraded * fraction
+        faults = None
+        if injector is not None or resil is not None:
+            faults = {}
+            if injector is not None:
+                faults["injected"] = injector.summary()
+            if resil is not None:
+                for event in ("timeouts", "retries", "hedges",
+                              "hedge_wins", "read_failures"):
+                    faults[event] = rcounts.get(event, 0)
+                faults["failed_queries"] = state.failures
+                if tracker is not None:
+                    faults["degraded"] = DegradedResult(
+                        queries=state.degraded_completions,
+                        total=completed, params=degraded_params)
         if telem is not None:
             # Functional-phase cache activity attributable to this run
             # (zero when the plan compile was already cached).
@@ -477,6 +646,7 @@ class BenchRunner:
             search_params=params,
             tracer=tracer if trace else None,
             telemetry=telem,
+            faults=faults,
         )
 
     #: Counter names that predate the generic per-kind scheme; kept so
@@ -514,6 +684,10 @@ class _RunState:
     last_completion: float = 0.0
     latencies: list[float] = dataclasses.field(default_factory=list)
     cold_replayed: set[int] = dataclasses.field(default_factory=set)
+    #: Queries whose demand reads failed permanently (FaultError path).
+    failures: int = 0
+    #: Completions replayed with degraded (shrunken) search params.
+    degraded_completions: int = 0
 
     def first_touch(self, index: int) -> bool:
         """True exactly once per query index: replay its cold profile."""

@@ -1,0 +1,177 @@
+"""Fault injection + resilience through the benchmark runner.
+
+The contracts these tests pin down:
+
+* attaching an **empty** plan, or an **inert** policy, leaves every
+  reported number — and the full block trace — bit-identical to a run
+  with nothing attached;
+* the same (plan, policy, seed) replayed twice produces the same fault
+  timeline and the same counters;
+* the three fault ledgers reconcile: what the injector says it injected
+  equals what telemetry counted equals what the block trace attributes;
+* resilience accounting balances: every timeout became a retry or a
+  read failure, and a run where every query fails raises FaultError.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.engines import IndexSpec, VectorEngine, get_profile
+from repro.errors import FaultError
+from repro.faults import (FaultPlan, LatencySpike, ReadError,
+                          ResiliencePolicy, Throttle)
+from repro.workload import BenchRunner
+
+DURATION = 0.3
+PARAMS = {"search_list": 16}
+
+
+@pytest.fixture(scope="module")
+def runner(small_data, small_queries, small_truth):
+    # Zero the node caches so demand reads actually reach the device —
+    # the injection point faults device reads, not cache hits.
+    profile = dataclasses.replace(get_profile("milvus"),
+                                  diskann_cache_bytes=0,
+                                  diskann_lru_bytes=0)
+    engine = VectorEngine(profile)
+    engine.create_collection("bench", small_data.shape[1],
+                             IndexSpec.of("diskann", R=8, L_build=16),
+                             storage_dim=768)
+    engine.insert("bench", small_data)
+    engine.flush("bench")
+    return BenchRunner(engine, "bench", small_queries,
+                       ground_truth=small_truth)
+
+
+@pytest.fixture(scope="module")
+def baseline(runner):
+    return runner.run(2, PARAMS, duration_s=DURATION, trace=True)
+
+
+def heavy_plan(seed=3):
+    return FaultPlan.of(
+        ReadError(0.0, DURATION, probability=0.3, stall_s=0.005),
+        LatencySpike(0.05, 0.15, extra_s=0.001),
+        Throttle(0.10, 0.25, bandwidth_fraction=0.5),
+        seed=seed)
+
+
+class TestNoOpEquivalence:
+    def test_empty_plan_is_bit_identical(self, runner, baseline):
+        result = runner.run(2, PARAMS, duration_s=DURATION, trace=True,
+                            fault_plan=FaultPlan())
+        assert result.qps == baseline.qps
+        assert result.mean_latency_s == baseline.mean_latency_s
+        assert result.p99_latency_s == baseline.p99_latency_s
+        assert result.completed == baseline.completed
+        assert result.read_bytes == baseline.read_bytes
+        assert result.tracer.records == baseline.tracer.records
+        # The only fault accounting left is the sampled-read count.
+        assert set(result.faults) == {"injected"}
+        assert set(result.faults["injected"]) == {"reads_sampled"}
+
+    def test_inert_policy_is_bit_identical(self, runner, baseline):
+        result = runner.run(2, PARAMS, duration_s=DURATION, trace=True,
+                            resilience=ResiliencePolicy())
+        assert result.qps == baseline.qps
+        assert result.p99_latency_s == baseline.p99_latency_s
+        assert result.tracer.records == baseline.tracer.records
+        assert result.faults is None
+
+
+class TestDeterminism:
+    def test_same_plan_replays_the_same_timeline(self, runner):
+        runs = [runner.run(2, PARAMS, duration_s=DURATION,
+                           fault_plan=heavy_plan())
+                for _ in range(2)]
+        assert runs[0].qps == runs[1].qps
+        assert runs[0].p99_latency_s == runs[1].p99_latency_s
+        assert runs[0].faults["injected"] == runs[1].faults["injected"]
+
+    def test_seed_changes_the_timeline(self, runner):
+        a = runner.run(2, PARAMS, duration_s=DURATION,
+                       fault_plan=heavy_plan(seed=1))
+        b = runner.run(2, PARAMS, duration_s=DURATION,
+                       fault_plan=heavy_plan(seed=2))
+        assert a.faults["injected"]["read_error"] \
+            != b.faults["injected"]["read_error"]
+
+
+class TestInjection:
+    def test_faults_slow_the_run_down(self, runner, baseline):
+        result = runner.run(2, PARAMS, duration_s=DURATION,
+                            fault_plan=heavy_plan())
+        assert result.faults["injected"]["read_error"] > 0
+        assert result.p99_latency_s > baseline.p99_latency_s
+        assert result.qps < baseline.qps
+
+    def test_ledgers_reconcile(self, runner):
+        result = runner.run(2, PARAMS, duration_s=DURATION, trace=True,
+                            telemetry=True, fault_plan=heavy_plan())
+        injected = {k: v for k, v in result.faults["injected"].items()
+                    if k != "reads_sampled"}
+        counted = {
+            name[len("fault_injected_"):]: counter.value
+            for name, counter in result.telemetry.counters.items()
+            if name.startswith("fault_injected_")}
+        assert injected == counted
+        assert injected == result.tracer.fault_counts()
+
+
+class TestResilience:
+    def test_timeouts_balance_retries_plus_failures(self, runner):
+        policy = ResiliencePolicy(read_timeout_s=0.002, max_retries=4,
+                                  backoff_base_s=0.0002)
+        result = runner.run(2, PARAMS, duration_s=DURATION,
+                            fault_plan=heavy_plan(), resilience=policy)
+        faults = result.faults
+        assert faults["timeouts"] > 0
+        assert faults["timeouts"] == (faults["retries"]
+                                      + faults["read_failures"])
+
+    def test_retries_beat_unmitigated_stalls(self, runner):
+        # Stalls dominate the tail; a timeout well under the stall
+        # resubmits onto the (likely healthy) re-sampled path.
+        plan = FaultPlan.of(
+            ReadError(0.0, DURATION, probability=0.3, stall_s=0.02),
+            seed=5)
+        faulted = runner.run(2, PARAMS, duration_s=DURATION,
+                             fault_plan=plan)
+        resilient = runner.run(
+            2, PARAMS, duration_s=DURATION, fault_plan=plan,
+            resilience=ResiliencePolicy(read_timeout_s=0.002,
+                                        max_retries=6,
+                                        backoff_base_s=0.0002))
+        assert resilient.p99_latency_s < faulted.p99_latency_s
+
+    def test_hedged_reads_are_counted(self, runner):
+        policy = ResiliencePolicy(hedge_after_s=0.0002)
+        result = runner.run(2, PARAMS, duration_s=DURATION,
+                            fault_plan=heavy_plan(), resilience=policy)
+        assert result.faults["hedges"] > 0
+        assert 0 <= result.faults["hedge_wins"] \
+            <= result.faults["hedges"]
+
+    def test_degradation_engages_and_is_reported(self, runner):
+        policy = ResiliencePolicy(degrade=True, latency_budget_s=1e-6,
+                                  degrade_after=1, recover_after=1000,
+                                  degrade_factor=0.5)
+        result = runner.run(2, PARAMS, duration_s=DURATION,
+                            resilience=policy)
+        degraded = result.faults["degraded"]
+        assert degraded.queries > 0
+        assert degraded.total == result.completed
+        assert degraded.params["search_list"] == 10   # floored at k
+        assert 0.0 < degraded.ratio <= 1.0
+        assert 0.0 < result.recall <= 1.0
+
+    def test_all_queries_failing_raises(self, runner):
+        # The window outlives the run: reads issued by queries draining
+        # after the deadline still land inside it, so no query escapes.
+        plan = FaultPlan.of(
+            ReadError(0.0, 100.0, probability=1.0, stall_s=0.05))
+        policy = ResiliencePolicy(read_timeout_s=0.0005, max_retries=0)
+        with pytest.raises(FaultError):
+            runner.run(2, PARAMS, duration_s=DURATION, fault_plan=plan,
+                       resilience=policy)

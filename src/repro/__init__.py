@@ -26,7 +26,7 @@ from repro.engines.payload import Filter
 from repro.faults import FaultPlan, ResiliencePolicy
 from repro.workload.setup import make_runner
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FaultPlan",

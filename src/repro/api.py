@@ -54,6 +54,18 @@ def open_engine(profile: EngineProfile | str = "milvus",
     return Session(VectorEngine(profile, seed=seed))
 
 
+def open_saved(path: str) -> "Session":
+    """A :class:`Session` over an engine recovered from *path*.
+
+    *path* is a store written by :meth:`Session.save` (or
+    :meth:`~repro.engines.engine.VectorEngine.save`): every record
+    checksum is verified and WAL entries past the last checkpoint are
+    replayed, so the session answers queries exactly as the saved one
+    did.  (The engine's seed is part of its committed state.)
+    """
+    return Session(VectorEngine.load(path))
+
+
 def open_bench(setup: str, dataset: str,
                scale: str | None = None) -> BenchRunner:
     """A ready benchmark runner for one of the paper's seven setups.
@@ -145,6 +157,17 @@ class Session:
     def delete(self, name: str, row_ids: t.Iterable[int]) -> int:
         """Tombstone rows by id; returns how many were newly deleted."""
         return self.engine.delete(name, row_ids)
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist the engine as a crash-consistent store at *path*.
+
+        Checksummed record files under a versioned manifest, each
+        written via temp file + fsync + atomic rename; reopen with
+        :func:`open_saved`.  See ``docs/DURABILITY.md``.
+        """
+        self.engine.save(path)
 
     # -- search -----------------------------------------------------------
 

@@ -8,6 +8,7 @@ Examples::
     repro figure 2                 # any of 2..15
     repro prefetch -d cohere-1m    # cache-policy + prefetch study
     repro faults -d cohere-1m      # fault-injection + resilience study
+    repro recover --quick          # crash/corruption recovery matrix
     repro study -o report.txt      # everything, with observation checks
     repro prebuild                 # build & cache all collections
 """
@@ -147,6 +148,32 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if all(data["verdicts"].values()) else 1
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    from repro.durability.study import run_recover_study
+    data = run_recover_study(quick=args.quick, seed=args.seed)
+    rows = []
+    for row in data["crash_matrix"]:
+        torn = "" if row["torn"] is None else f"torn {row['torn']:.0%}"
+        rows.append([row["point"], row["occurrence"], torn, row["state"],
+                     "yes" if row["repaired_scrub_ok"] else "NO",
+                     "yes" if row["resumed_ok"] else "NO"])
+    print(report.format_table(
+        ["crash point", "occ", "mode", "recovered", "scrub ok",
+         "resume ok"], rows))
+    torn_wal = data["torn_wal"]
+    print(f"\ntorn WAL tail: {torn_wal['recovered']}/"
+          f"{torn_wal['appended']} entries recovered, "
+          f"{torn_wal['truncated_bytes']} torn bytes truncated")
+    rot = data["corruption"]
+    print(f"corruption scrub: {rot['detected']}/{rot['injected_files']} "
+          f"damaged files attributed; load refused: "
+          f"{rot['load_refused']}")
+    print("\nverdicts:")
+    for name, holds in data["verdicts"].items():
+        print(f"  {'PASS' if holds else 'FAIL'}  {name}")
+    return 0 if all(data["verdicts"].values()) else 1
+
+
 def cmd_study(args: argparse.Namespace) -> int:
     results = run_study(datasets=args.datasets,
                         progress=lambda m: print(f"[study] {m}",
@@ -244,6 +271,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=42,
                    help="fault plan + jitter seed (default 42)")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "recover",
+        help="crash-consistency + corruption recovery matrix")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced matrix (CI smoke)")
+    p.add_argument("--seed", type=int, default=42,
+                   help="crash/corruption plan seed (default 42)")
+    p.set_defaults(fn=cmd_recover)
 
     p = sub.add_parser("study", help="run the whole evaluation")
     p.add_argument("--datasets", nargs="+", default=list(DATASET_NAMES),

@@ -1,0 +1,83 @@
+"""Crash-consistent durability: checksummed store, recoverable WAL.
+
+The paper's storage-based engines survive restarts because their
+on-disk index formats are durable artifacts; this package gives the
+reproduction the same property.  Four layers:
+
+* :mod:`repro.durability.record` — CRC32C-framed records, the unit
+  every durable file is built from;
+* :mod:`repro.durability.atomic` — temp-file + fsync + atomic-rename
+  replacement, with declared crash points;
+* :mod:`repro.durability.walio` — record-framed WAL files: atomic
+  snapshots, torn-tail-tolerant recovery, per-record appends;
+* :mod:`repro.durability.store` — the versioned segment store whose
+  ``MANIFEST`` rename is the single commit point, plus ``scrub()`` /
+  ``repair()``.
+
+:class:`~repro.engines.engine.VectorEngine.save` / ``load`` and
+:class:`~repro.engines.wal.WriteAheadLog.save` / ``load`` delegate
+here; :mod:`repro.faults.crash` supplies the crash/corruption plans and
+``repro recover`` (:mod:`repro.durability.study`) drives the full
+crash x corruption recovery matrix.  Format, invariants, and the
+recovery state machine are documented in ``docs/DURABILITY.md``.
+"""
+
+from repro.durability.atomic import atomic_write_bytes, fsync_dir
+from repro.durability.record import crc32c, frame, read_frames, scan_frames
+from repro.durability.store import (CORRUPTION_KINDS, FORMAT, MANIFEST_NAME,
+                                    Manifest, ManifestEntry, RepairReport,
+                                    ScrubFinding, ScrubReport, load_engine,
+                                    read_manifest, repair, save_engine,
+                                    scrub)
+from repro.durability.walio import WalAppender, load_wal, save_wal
+
+#: Every declared crash point a :class:`~repro.faults.crash.CrashPlan`
+#: can kill at.  ``save.data.*`` and ``save.manifest.*`` fire inside
+#: :func:`atomic_write_bytes` (per data file / for the manifest swap);
+#: ``save.cleanup`` fires after commit, before old versions are
+#: deleted; ``wal.append.*`` fire inside
+#: :class:`~repro.durability.walio.WalAppender`.  Everything strictly
+#: before ``save.manifest.rename``'s rename leaves the *old* committed
+#: state; ``save.cleanup`` leaves the *new* one.
+CRASH_POINTS = (
+    "save.data.write",
+    "save.data.fsync",
+    "save.data.rename",
+    "save.manifest.write",
+    "save.manifest.fsync",
+    "save.manifest.rename",
+    "save.cleanup",
+    "wal.append.write",
+    "wal.append.fsync",
+)
+
+#: The crash points that interrupt an engine save (the recover matrix).
+SAVE_CRASH_POINTS = tuple(p for p in CRASH_POINTS
+                          if p.startswith("save."))
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "CRASH_POINTS",
+    "FORMAT",
+    "MANIFEST_NAME",
+    "Manifest",
+    "ManifestEntry",
+    "RepairReport",
+    "SAVE_CRASH_POINTS",
+    "ScrubFinding",
+    "ScrubReport",
+    "WalAppender",
+    "atomic_write_bytes",
+    "crc32c",
+    "frame",
+    "fsync_dir",
+    "load_engine",
+    "load_wal",
+    "read_frames",
+    "read_manifest",
+    "repair",
+    "save_engine",
+    "save_wal",
+    "scan_frames",
+    "scrub",
+]

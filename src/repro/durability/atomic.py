@@ -1,0 +1,65 @@
+"""Atomic file replacement: temp file + fsync + rename + directory fsync.
+
+The durable store never overwrites a file in place.  Every write goes
+to ``<name>.tmp`` in the destination directory, is flushed and fsynced,
+and is then renamed over the destination — the POSIX guarantee that a
+reader (or a post-crash recovery) sees either the complete old bytes or
+the complete new bytes, never a prefix.  The directory is fsynced after
+the rename so the new directory entry itself is durable.
+
+Crash points (consumed by :class:`~repro.faults.crash.CrashInjector`)
+are declared at the three states a power cut can freeze:
+
+* ``<label>.write``  — before the temp file's content is written
+  (a *torn* plan leaves a seeded prefix of it on disk);
+* ``<label>.fsync``  — content written but not yet durable;
+* ``<label>.rename`` — temp file durable but not yet visible under the
+  destination name.
+
+None of the three can damage the previous committed file: it is only
+ever replaced by the final rename.
+"""
+
+from __future__ import annotations
+
+import os
+import typing as t
+from pathlib import Path
+
+if t.TYPE_CHECKING:
+    from repro.faults.crash import CrashInjector
+
+#: Suffix of in-flight temp files; ``repair()`` removes strays.
+TMP_SUFFIX = ".tmp"
+
+
+def fsync_dir(path: Path) -> None:
+    """Flush a directory's entries to stable storage (POSIX only)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return   # platforms without directory fds
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *,
+                       crash: "CrashInjector | None" = None,
+                       label: str = "file") -> None:
+    """Replace *path*'s content with *data*, atomically."""
+    path = Path(path)
+    tmp = path.with_name(path.name + TMP_SUFFIX)
+    if crash is not None:
+        crash.reached(f"{label}.write", tmp, data)
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if crash is not None:
+            crash.reached(f"{label}.fsync", tmp, data)
+        os.fsync(handle.fileno())
+    if crash is not None:
+        crash.reached(f"{label}.rename", tmp, data)
+    os.replace(tmp, path)
+    fsync_dir(path.parent)

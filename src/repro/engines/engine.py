@@ -13,7 +13,6 @@ replays on the simulated hardware.
 from __future__ import annotations
 
 import dataclasses
-import pickle
 import typing as t
 import warnings
 from pathlib import Path
@@ -487,16 +486,25 @@ class VectorEngine:
     # -- persistence -------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist all collections to a real file."""
-        with open(path, "wb") as handle:
-            pickle.dump((self.profile, self.seed, self._collections),
-                        handle, protocol=pickle.HIGHEST_PROTOCOL)
+        """Persist all collections as a crash-consistent store at *path*.
+
+        The store is a directory of checksummed, record-framed files
+        under a versioned manifest; each file is written via temp file
+        + fsync + atomic rename and the manifest swap is the single
+        commit point, so a crash at any moment leaves either the
+        previous committed state or the new one — never a torn hybrid
+        (see :mod:`repro.durability` and ``docs/DURABILITY.md``).
+        """
+        from repro.durability import save_engine
+        save_engine(self, path)
 
     @classmethod
     def load(cls, path: str | Path) -> "VectorEngine":
-        """Recover an engine previously written by :meth:`save`."""
-        with open(path, "rb") as handle:
-            profile, seed, collections = pickle.load(handle)
-        engine = cls(profile, seed)
-        engine._collections = collections
-        return engine
+        """Recover an engine previously written by :meth:`save`.
+
+        Verifies every record checksum, replays WAL entries past the
+        last checkpoint to rebuild unsealed rows, and still reads the
+        legacy single-file snapshots of pre-durability versions.
+        """
+        from repro.durability import load_engine
+        return load_engine(path)

@@ -4,17 +4,26 @@ Two roles:
 
 * **functional durability** — every mutation (insert/delete) is
   appended before being applied; a collection can be rebuilt by
-  replaying the log, and the log can be persisted to a real file and
-  recovered (tested in the engine test suite);
+  replaying the log, and the log persists to a checksummed,
+  record-framed file (:mod:`repro.durability.walio`) whose recovery
+  truncates torn tails;
 * **I/O modeling** — each entry knows its serialized size, so the
   hybrid read/write workload benchmark (paper Section VIII future work)
   can issue correspondingly sized writes to the simulated device.
+
+Checkpointing and truncation are *separate* operations.
+``checkpoint()`` records that everything logged so far is durable in
+the main store (segments); it does not forget anything — ``entries``,
+``total_bytes()``, and replay-from-log keep the full retained history.
+``truncate()`` is the explicit space-reclaim step that drops entries a
+checkpoint has already covered.  (They used to be fused, which made the
+log silently forget history while ``checkpointed_through`` claimed
+otherwise.)
 """
 
 from __future__ import annotations
 
 import dataclasses
-import pickle
 import typing as t
 from pathlib import Path
 
@@ -42,7 +51,7 @@ class WalEntry:
 
 
 class WriteAheadLog:
-    """Append-only mutation log with checkpoint truncation."""
+    """Append-only mutation log with checkpointing and truncation."""
 
     def __init__(self) -> None:
         self._entries: list[WalEntry] = []
@@ -68,10 +77,24 @@ class WriteAheadLog:
                 if e.sequence > self.checkpointed_through]
 
     def checkpoint(self) -> None:
-        """Mark all current entries durable in the main store."""
+        """Mark all current entries durable in the main store.
+
+        Entries are retained — call :meth:`truncate` to reclaim them.
+        """
         if self._entries:
             self.checkpointed_through = self._entries[-1].sequence
-        self._entries = []
+
+    def truncate(self) -> int:
+        """Drop entries already covered by a checkpoint.
+
+        Returns how many entries were reclaimed; entries newer than
+        ``checkpointed_through`` always survive.
+        """
+        kept = [e for e in self._entries
+                if e.sequence > self.checkpointed_through]
+        dropped = len(self._entries) - len(kept)
+        self._entries = kept
+        return dropped
 
     def total_bytes(self) -> int:
         return sum(e.entry_bytes() for e in self._entries)
@@ -82,16 +105,16 @@ class WriteAheadLog:
     # -- real persistence --------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist the log to a real file."""
-        with open(path, "wb") as handle:
-            pickle.dump((self._entries, self._next_sequence,
-                         self.checkpointed_through), handle)
+        """Atomically snapshot the log to a record-framed file.
+
+        Temp file + fsync + rename: a crash mid-save leaves the
+        previous snapshot intact (see :mod:`repro.durability.walio`).
+        """
+        from repro.durability.walio import save_wal
+        save_wal(self, path)
 
     @classmethod
     def load(cls, path: str | Path) -> "WriteAheadLog":
-        """Recover a log previously written by :meth:`save`."""
-        wal = cls()
-        with open(path, "rb") as handle:
-            (wal._entries, wal._next_sequence,
-             wal.checkpointed_through) = pickle.load(handle)
-        return wal
+        """Recover a log file, truncating a torn tail if present."""
+        from repro.durability.walio import load_wal
+        return load_wal(path)

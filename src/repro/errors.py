@@ -41,6 +41,48 @@ class FaultError(StorageError):
     """
 
 
+class InjectedCrash(FaultError):
+    """The process was "killed" at a declared durability crash point.
+
+    Raised by :class:`repro.faults.crash.CrashInjector` when a
+    :class:`~repro.faults.crash.CrashPlan` fires mid-save (or
+    mid-append): everything written and renamed so far stays on disk,
+    everything after the crash point never happens — the simulation of
+    a power cut.  Production code never raises or catches this; the
+    crash-matrix tests catch it and then assert the recovery
+    invariants.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point!r}")
+        #: The declared crash point that fired.
+        self.point = point
+
+
+class DurabilityError(StorageError):
+    """A durable-store operation (save, load, scrub, repair) failed."""
+
+
+class CorruptionError(DurabilityError):
+    """On-disk bytes failed a checksum, frame, or length check.
+
+    Carries the attribution the scrubber reports: which file, and when
+    determinable which record within it, is damaged.
+    """
+
+    def __init__(self, message: str, *, file: str | None = None,
+                 record: int | None = None) -> None:
+        super().__init__(message)
+        #: Store-relative path of the damaged file (when known).
+        self.file = file
+        #: Zero-based index of the damaged record in it (when known).
+        self.record = record
+
+
+class RecoveryError(DurabilityError):
+    """No committed state could be recovered from a durable store."""
+
+
 class AnnIndexError(ReproError):
     """An ANN index was misused (searching before building, bad params)."""
 

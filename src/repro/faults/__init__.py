@@ -11,15 +11,24 @@ host can do about it.  Three pieces:
   injection point, with per-kind attribution counters;
 * :mod:`repro.faults.resilience` — :class:`ResiliencePolicy`: timeouts
   with exponential-backoff-and-jitter retries, hedged reads, and
-  graceful search-parameter degradation.
+  graceful search-parameter degradation;
+* :mod:`repro.faults.crash` — the *write-path* attacks:
+  :class:`CrashPlan`/:class:`CrashInjector` kill a durable save or WAL
+  append at a declared crash point (optionally tearing the in-flight
+  file), and :class:`CorruptionPlan` flips seeded bytes in a committed
+  store for ``scrub()`` to find (see :mod:`repro.durability`).
 
-Both halves plug into :meth:`repro.workload.runner.BenchRunner.run`
-(``fault_plan=`` / ``resilience=``); ``repro faults`` runs the study
-comparing P99/recall with and without the defences under one plan.
-The architecture and the full fault model are documented in
-``docs/ARCHITECTURE.md`` and ``docs/FAULT_MODEL.md``.
+The read-path halves plug into
+:meth:`repro.workload.runner.BenchRunner.run` (``fault_plan=`` /
+``resilience=``); ``repro faults`` runs the study comparing P99/recall
+with and without the defences under one plan, and ``repro recover``
+runs the crash x corruption recovery matrix.  The architecture and the
+full fault model are documented in ``docs/ARCHITECTURE.md``,
+``docs/FAULT_MODEL.md``, and ``docs/DURABILITY.md``.
 """
 
+from repro.faults.crash import (Corruption, CorruptionPlan, CrashInjector,
+                                CrashPlan)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (FAULT_KINDS, FaultEffect, FaultPlan,
                                FaultWindow, LatencySpike, ReadError,
@@ -29,6 +38,10 @@ from repro.faults.resilience import (PressureTracker, ResiliencePolicy,
 
 __all__ = [
     "FAULT_KINDS",
+    "Corruption",
+    "CorruptionPlan",
+    "CrashInjector",
+    "CrashPlan",
     "FaultEffect",
     "FaultInjector",
     "FaultPlan",

@@ -111,6 +111,13 @@ class RunTelemetry:
         ``hedges``, ``hedge_wins``, or ``read_failures``."""
         self.counter(f"resilience_{event}").inc(amount)
 
+    def on_durability(self, event: str, amount: int = 1) -> None:
+        """Record durability actions (see :mod:`repro.durability`):
+        ``saves``, ``loads``, ``records_written``, ``records_verified``,
+        ``wal_replayed``, ``torn_tail_truncated``, ``scrubs``,
+        ``scrub_findings``, or ``repair_removed``."""
+        self.counter(f"durability_{event}").inc(amount)
+
     def observe_queue_depth(self, resource: str, depth: int) -> None:
         """Sample a resource's wait-queue depth at request arrival."""
         hist = self.queue_depth.get(resource)

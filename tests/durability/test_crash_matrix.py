@@ -1,0 +1,139 @@
+"""Crash injection during save: old-or-new, never a hybrid."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_vectors
+from repro.durability import (SAVE_CRASH_POINTS, WalAppender, load_engine,
+                              load_wal, repair, save_engine, scrub)
+from repro.engines.engine import IndexSpec, VectorEngine
+from repro.engines.wal import WriteAheadLog
+from repro.errors import InjectedCrash
+from repro.faults.crash import CrashInjector, CrashPlan
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return make_vectors(140, 16, n_clusters=5, seed=9, latent_dim=6)
+
+
+def build_engine(vectors):
+    engine = VectorEngine("milvus")
+    engine.create_collection("docs", 16,
+                             IndexSpec.of("hnsw", M=8, ef_construction=32),
+                             storage_dim=64)
+    engine.insert("docs", vectors[:100])
+    engine.flush("docs")
+    engine.insert("docs", vectors[100:])
+    engine.delete("docs", [4])
+    return engine
+
+
+def fingerprint(engine, queries):
+    return [(engine.search("docs", q, 5, ef_search=40).ids.tobytes(),
+             engine.search("docs", q, 5, ef_search=40).dists.tobytes())
+            for q in queries]
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("point", SAVE_CRASH_POINTS)
+    @pytest.mark.parametrize("torn", [None, 0.5])
+    def test_crash_leaves_old_or_new_state_never_hybrid(
+            self, vectors, tmp_path, point, torn):
+        """The satellite regression: interrupt a save at every declared
+        point and prove the store still loads — as exactly the old or
+        exactly the new committed state."""
+        if torn is not None and not point.endswith(".write"):
+            pytest.skip("torn writes only apply at .write points")
+        queries = vectors[:6]
+        root = tmp_path / "engine.db"
+        engine = build_engine(vectors)
+        save_engine(engine, root)
+        old_prints = fingerprint(engine, queries)
+        # A visible mutation: kill query 0's best hit.
+        best = engine.search("docs", queries[0], 1, ef_search=40).ids
+        engine.delete("docs", [int(best[0])])
+        new_prints = fingerprint(engine, queries)
+        assert new_prints != old_prints
+
+        injector = CrashInjector(CrashPlan.of(point, torn_fraction=torn))
+        with pytest.raises(InjectedCrash):
+            save_engine(engine, root, crash=injector)
+        assert injector.fired
+
+        prints = fingerprint(load_engine(root), queries)
+        expected = new_prints if point == "save.cleanup" else old_prints
+        assert prints == expected, f"hybrid state after crash at {point}"
+
+    @pytest.mark.parametrize("point", SAVE_CRASH_POINTS)
+    def test_repair_then_resave_completes_the_interrupted_save(
+            self, vectors, tmp_path, point):
+        root = tmp_path / "engine.db"
+        engine = build_engine(vectors)
+        save_engine(engine, root)
+        engine.delete("docs", [7])
+        with pytest.raises(InjectedCrash):
+            save_engine(engine, root,
+                        crash=CrashInjector(CrashPlan.of(point)))
+        repair(root)
+        assert scrub(root).ok
+        save_engine(engine, root)   # the resumed save
+        recovered = load_engine(root)
+        assert recovered.collection("docs").tombstones \
+            == engine.collection("docs").tombstones
+        assert scrub(root).ok
+
+    def test_second_occurrence_fires_on_second_data_file(self, vectors,
+                                                         tmp_path):
+        engine = build_engine(vectors)
+        injector = CrashInjector(CrashPlan.of("save.data.write",
+                                              occurrence=2))
+        with pytest.raises(InjectedCrash):
+            save_engine(engine, tmp_path / "e.db", crash=injector)
+        assert injector.visited["save.data.write"] == 3
+
+    def test_crash_before_first_save_leaves_nothing_committed(
+            self, vectors, tmp_path):
+        from repro.errors import RecoveryError
+        root = tmp_path / "fresh.db"
+        engine = build_engine(vectors)
+        with pytest.raises(InjectedCrash):
+            save_engine(
+                engine, root,
+                crash=CrashInjector(CrashPlan.of("save.manifest.rename")))
+        with pytest.raises(RecoveryError):
+            load_engine(root)   # no commit point was ever reached
+
+
+class TestTornWal:
+    def test_torn_tail_is_truncated_to_longest_valid_prefix(self,
+                                                            tmp_path):
+        path = tmp_path / "wal.log"
+        wal = WriteAheadLog()
+        vector = np.arange(8, dtype=np.float32)
+        injector = CrashInjector(
+            CrashPlan.of("wal.append.write", occurrence=4,
+                         torn_fraction=0.6))
+        appender = WalAppender(path, crash=injector)
+        with pytest.raises(InjectedCrash):
+            for i in range(6):
+                appender.append(wal.append("insert", i, vector))
+        torn_size = path.stat().st_size
+        recovered = load_wal(path)
+        assert [e.row_id for e in recovered.entries] == [0, 1, 2, 3]
+        assert path.stat().st_size < torn_size
+        # Recovery is idempotent: a second load changes nothing.
+        again = load_wal(path)
+        assert [e.row_id for e in again.entries] == [0, 1, 2, 3]
+
+    def test_appended_entries_replay_into_growing_buffer(self, vectors,
+                                                         tmp_path):
+        """Unsealed rows exist only in the WAL; load must replay them."""
+        root = tmp_path / "engine.db"
+        engine = build_engine(vectors)
+        engine.save(root)
+        recovered = VectorEngine.load(root)
+        collection = recovered.collection("docs")
+        assert len(collection.growing) == 40
+        result = recovered.search("docs", vectors[110], 3, ef_search=40)
+        assert 110 in result.ids

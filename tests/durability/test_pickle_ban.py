@@ -1,0 +1,30 @@
+"""Lint: unchecksummed pickle I/O must not creep back into engines/.
+
+The durability layer owns (de)serialization; engine code going through
+``pickle`` directly would bypass framing, checksums, and the atomic
+commit protocol.  CI enforces the same ban (the ``durability`` job).
+"""
+
+import ast
+from pathlib import Path
+
+ENGINES = Path(__file__).resolve().parents[2] / "src" / "repro" / "engines"
+
+
+def imported_modules(path):
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            yield from (alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            yield node.module
+
+
+def test_engines_package_never_imports_pickle():
+    offenders = [
+        path.name for path in sorted(ENGINES.rglob("*.py"))
+        if any(module.split(".")[0] == "pickle"
+               for module in imported_modules(path))]
+    assert offenders == [], (
+        f"pickle imported under src/repro/engines/: {offenders}; "
+        "persist through repro.durability instead")

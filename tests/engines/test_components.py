@@ -113,13 +113,27 @@ class TestWal:
                           {"a": 1}).entry_bytes()
         assert rich > bare + 64
 
-    def test_checkpoint_truncates(self):
+    def test_checkpoint_marks_durable_but_keeps_history(self):
         wal = WriteAheadLog()
         wal.append("insert", 0, np.zeros(2, dtype=np.float32))
         wal.checkpoint()
-        assert len(wal) == 0
+        # Checkpointing no longer forgets: entries/total_bytes keep the
+        # full history while pending() goes empty.
+        assert len(wal) == 1
+        assert wal.total_bytes() > 0
         assert wal.checkpointed_through == 0
         assert wal.pending() == []
+
+    def test_truncate_drops_only_checkpointed_entries(self):
+        wal = WriteAheadLog()
+        wal.append("insert", 0, np.zeros(2, dtype=np.float32))
+        wal.checkpoint()
+        wal.append("delete", 0)
+        assert wal.truncate() == 1
+        assert [e.sequence for e in wal.entries] == [1]
+        assert wal.pending() == list(wal.entries)
+        # A second truncate with nothing newly checkpointed is a no-op.
+        assert wal.truncate() == 0
 
     def test_save_load_roundtrip(self, tmp_path):
         wal = WriteAheadLog()

@@ -229,7 +229,12 @@ class TestWalIntegration:
         wal = engine.collection("docs").wal
         assert len(wal) == 11
         engine.flush("docs")
-        assert len(wal) == 0  # checkpoint truncates
+        # Sealing checkpoints (nothing pending) but keeps history;
+        # reclaiming space is the explicit truncate() call.
+        assert wal.pending() == []
+        assert len(wal) == 11
+        assert wal.truncate() == 11
+        assert len(wal) == 0
 
 
 class TestMemoryBudget:

@@ -1,0 +1,104 @@
+"""CrashPlan / CrashInjector / CorruptionPlan semantics."""
+
+import pytest
+
+from repro.errors import InjectedCrash, WorkloadError
+from repro.faults.crash import (Corruption, CorruptionPlan, CrashInjector,
+                                CrashPlan)
+
+
+class TestCrashPlan:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            CrashPlan("")
+        with pytest.raises(WorkloadError):
+            CrashPlan("p", occurrence=-1)
+        with pytest.raises(WorkloadError):
+            CrashPlan("p", torn_fraction=1.0)
+        with pytest.raises(WorkloadError):
+            CrashPlan("p", torn_fraction=-0.1)
+
+    def test_choose_is_deterministic_and_seed_sensitive(self):
+        points = ("a", "b", "c", "d", "e")
+        assert CrashPlan.choose(points, seed=7) \
+            == CrashPlan.choose(points, seed=7)
+        picked = {CrashPlan.choose(points, seed=s).point
+                  for s in range(40)}
+        assert len(picked) > 1
+        with pytest.raises(WorkloadError):
+            CrashPlan.choose(())
+
+
+class TestCrashInjector:
+    def test_fires_only_at_the_planned_occurrence(self):
+        injector = CrashInjector(CrashPlan.of("point", occurrence=2))
+        injector.reached("point")
+        injector.reached("other")
+        injector.reached("point")
+        with pytest.raises(InjectedCrash) as info:
+            injector.reached("point")
+        assert info.value.point == "point"
+        assert injector.fired
+        assert injector.visited == {"point": 3, "other": 1}
+        injector.reached("point")   # fired injectors go quiet
+
+    def test_none_plan_never_fires(self):
+        injector = CrashInjector(None)
+        for _ in range(10):
+            injector.reached("anything")
+        assert not injector.fired
+
+    def test_torn_write_leaves_a_prefix(self, tmp_path):
+        path = tmp_path / "victim"
+        injector = CrashInjector(
+            CrashPlan.of("p", torn_fraction=0.25))
+        with pytest.raises(InjectedCrash):
+            injector.reached("p", path, b"x" * 100)
+        assert path.read_bytes() == b"x" * 25
+
+    def test_torn_append_preserves_existing_bytes(self, tmp_path):
+        path = tmp_path / "victim"
+        path.write_bytes(b"KEEP")
+        injector = CrashInjector(
+            CrashPlan.of("p", torn_fraction=0.5))
+        with pytest.raises(InjectedCrash):
+            injector.reached("p", path, b"abcdefgh", append=True)
+        assert path.read_bytes() == b"KEEPabcd"
+
+
+class TestCorruptionPlan:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            CorruptionPlan(flips=0)
+
+    def test_apply_is_deterministic(self, tmp_path):
+        for name in ("one", "two"):
+            (tmp_path / name).write_bytes(bytes(range(64)))
+        first = CorruptionPlan(seed=5, flips=3).apply(tmp_path)
+        for name in ("one", "two"):
+            (tmp_path / name).write_bytes(bytes(range(64)))
+        second = CorruptionPlan(seed=5, flips=3).apply(tmp_path)
+        assert first == second
+        assert all(isinstance(c, Corruption) and c.before != c.after
+                   for c in first)
+
+    def test_flips_really_change_the_bytes(self, tmp_path):
+        (tmp_path / "data").write_bytes(bytes(64))
+        for flip in CorruptionPlan(seed=1, flips=4).apply(tmp_path):
+            data = (tmp_path / flip.file).read_bytes()
+            assert data[flip.offset] == flip.after != flip.before
+
+    def test_collisions_redraw_distinct_offsets(self, tmp_path):
+        (tmp_path / "tiny").write_bytes(b"abcd")
+        flips = CorruptionPlan(seed=0, flips=4).apply(tmp_path)
+        assert len({(c.file, c.offset) for c in flips}) == 4
+
+    def test_tmp_files_are_not_targets(self, tmp_path):
+        (tmp_path / "real").write_bytes(bytes(32))
+        (tmp_path / "stray.tmp").write_bytes(bytes(32))
+        targets = CorruptionPlan().targets(tmp_path)
+        assert [p.name for p in targets] == ["real"]
+
+    def test_empty_store_raises(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            CorruptionPlan().apply(tmp_path)

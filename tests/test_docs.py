@@ -26,11 +26,13 @@ DOCTESTED_MODULES = (
     "repro.faults.plan",
     "repro.faults.injector",
     "repro.faults.resilience",
+    "repro.faults.crash",
+    "repro.durability.record",
 )
 
 #: Markdown documents whose code blocks are executed.
 DOCUMENTS = ("README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
-             "docs/FAULT_MODEL.md")
+             "docs/FAULT_MODEL.md", "docs/DURABILITY.md")
 
 #: Markdown files whose intra-repo links are checked.
 LINKED = sorted(str(p.relative_to(REPO)) for p in

@@ -10,6 +10,8 @@ Subpackages
 - ``repro.data``     — synthetic proxies of the Cohere/OpenAI datasets;
 - ``repro.engines``  — Milvus/Qdrant/Weaviate/LanceDB-profile engines;
 - ``repro.workload`` — VectorDBBench-style closed-loop benchmark runner;
+- ``repro.serve``    — open-loop serving: admission control, batching,
+  load shedding, SLO/goodput accounting (beyond the paper);
 - ``repro.trace``    — block-trace analysis (bandwidth, request sizes);
 - ``repro.faults``   — fault injection + resilience (beyond the paper);
 - ``repro.core``     — the study: figures, observation checks, reports.
@@ -24,9 +26,10 @@ from repro.ann.workprofile import SearchResult
 from repro.engines.engine import IndexSpec, SearchRequest, VectorEngine
 from repro.engines.payload import Filter
 from repro.faults import FaultPlan, ResiliencePolicy
+from repro.serve import ServeConfig, ServeResult, TenantLoad
 from repro.workload.setup import make_runner
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "FaultPlan",
@@ -35,7 +38,10 @@ __all__ = [
     "ResiliencePolicy",
     "SearchRequest",
     "SearchResult",
+    "ServeConfig",
+    "ServeResult",
     "Session",
+    "TenantLoad",
     "VectorEngine",
     "__version__",
     "load_dataset",

@@ -38,6 +38,7 @@ from repro.workload.runner import BenchRunner, WriteLoad
 if t.TYPE_CHECKING:
     from repro.ann.workprofile import SearchResult
     from repro.faults import FaultPlan, ResiliencePolicy
+    from repro.serve import ServeConfig, ServeResult
 
 
 def open_engine(profile: EngineProfile | str = "milvus",
@@ -242,3 +243,44 @@ class Session:
         return BenchRunner(self.engine, name, queries,
                            ground_truth=ground_truth, k=k,
                            paper_n=paper_n)
+
+    # -- serving ----------------------------------------------------------
+
+    def serve(self, name: str, queries: np.ndarray,
+              config: "ServeConfig", *,
+              ground_truth: np.ndarray | None = None, k: int = 10,
+              telemetry: RunTelemetry | bool | None = None,
+              paper_n: int | None = None) -> "ServeResult":
+        """One serving run over a collection under open-loop load.
+
+        Where :meth:`run_bench` asks "how fast can the backend go"
+        (closed loop), this asks the production question: how much
+        *offered* load does it absorb within the SLO?  The *config*
+        (:class:`~repro.serve.ServeConfig`) sets the tenants' arrival
+        models, the admission-queue policy and bound, batching,
+        shedding, and the concurrency limit; the returned
+        :class:`~repro.serve.ServeResult` reports goodput, drops, and
+        the queue/service latency decomposition.  See
+        ``docs/SERVING.md``.
+
+        >>> import numpy as np
+        >>> from repro.serve import PoissonArrivals, ServeConfig, TenantLoad
+        >>> session = open_engine()
+        >>> _ = session.create("d", dim=8, index="flat")
+        >>> rng = np.random.default_rng(1)
+        >>> _ = session.insert(
+        ...     "d", rng.standard_normal((64, 8), dtype=np.float32),
+        ...     flush=True)
+        >>> config = ServeConfig(
+        ...     tenants=(TenantLoad("t", PoissonArrivals(rate_qps=200.0)),),
+        ...     duration_s=0.05)
+        >>> result = session.serve(
+        ...     "d", rng.standard_normal((4, 8), dtype=np.float32), config)
+        >>> result.completed > 0 and result.rejected == 0
+        True
+        """
+        from repro.serve import Server
+        runner = self.bench_runner(name, queries,
+                                   ground_truth=ground_truth, k=k,
+                                   paper_n=paper_n)
+        return Server(runner, config, telemetry=telemetry).serve()

@@ -7,6 +7,7 @@ Examples::
     repro sweep -s milvus-hnsw -d cohere-1m
     repro figure 2                 # any of 2..15
     repro prefetch -d cohere-1m    # cache-policy + prefetch study
+    repro serve -d cohere-1m       # open-loop serving study
     repro faults -d cohere-1m      # fault-injection + resilience study
     repro recover --quick          # crash/corruption recovery matrix
     repro study -o report.txt      # everything, with observation checks
@@ -139,6 +140,18 @@ def cmd_prefetch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.study import SERVE_SETUPS, serving_study
+    setups = SERVE_SETUPS[:1] if args.quick else SERVE_SETUPS
+    duration = min(args.duration, 0.3) if args.quick else args.duration
+    data = serving_study(
+        args.dataset, setups=setups,
+        duration_s=duration, seed=args.seed,
+        progress=lambda m: print(f"[serve] {m}", file=sys.stderr))
+    print(report.render_serving_study(data))
+    return 0 if all(data["verdicts"].values()) else 1
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     data = figures.resilience_comparison(
         args.dataset, search_list=args.search_list,
@@ -259,6 +272,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--search-list", type=int, default=50)
     p.add_argument("--threads", type=int, default=4)
     p.set_defaults(fn=cmd_prefetch)
+
+    p = sub.add_parser(
+        "serve",
+        help="open-loop serving study: admission control, batching, "
+             "shedding (beyond the paper)")
+    p.add_argument("-d", "--dataset", default="cohere-1m",
+                   choices=DATASET_NAMES)
+    p.add_argument("--quick", action="store_true",
+                   help="first setup only, shorter window (CI smoke)")
+    p.add_argument("--duration", type=float, default=0.5,
+                   help="simulated seconds per serving run (default 0.5)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="arrival-timeline seed (default 0)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "faults",

@@ -164,6 +164,77 @@ def render_resilience_comparison(data: dict) -> str:
     ])
 
 
+def render_serving_study(data: dict) -> str:
+    """Tables for the open-loop serving study (``repro serve``).
+
+    Per setup: the closed-loop saturation probe (with the
+    :class:`~repro.workload.metrics.Summary` p50/p95 error bars), the
+    offered-load sweep, the shedding comparison, the FIFO-vs-WFQ
+    noisy-neighbor table, the AIMD controller line, and the verdicts.
+    """
+    blocks = [f"[{data['dataset']}] serving study, "
+              f"window={data['duration_s']}s"]
+    for setup, entry in data["setups"].items():
+        probe_rows = [
+            [threads,
+             f"{s['qps']:.0f} ±{s['qps_std']:.0f}",
+             f"{s['p50_ms']:.2f} ±{s['p50_std_ms']:.2f}",
+             f"{s['p95_ms']:.2f} ±{s['p95_std_ms']:.2f}",
+             f"{s['p99_ms']:.2f}"]
+            for threads, s in entry["probe"].items()]
+        sweep_rows = [
+            [fraction, _fmt(row["offered_qps"], 0), _fmt(row["qps"], 0),
+             _fmt(row["goodput_qps"], 0), _fmt(row["p50_ms"], 2),
+             _fmt(row["p99_ms"], 2), _fmt(row["mean_queue_ms"], 2),
+             row["slo_misses"], row["max_queue_depth"]]
+            for fraction, row in entry["sweep"].items()]
+        shed_rows = [
+            [label, _fmt(row["qps"], 0), _fmt(row["goodput_qps"], 0),
+             row["shed"], row["slo_misses"], _fmt(row["p99_ms"], 2)]
+            for label, row in entry["shedding"].items()]
+        fairness = entry["fairness"]
+        fair_rows = [
+            [policy,
+             _fmt(fairness[policy]["light_p99_ms"], 2),
+             f"{fairness[policy]['light_p99_over_isolated']:.1f}x",
+             _fmt(fairness[policy]["light_goodput_qps"], 0),
+             _fmt(fairness[policy]["noisy_p99_ms"], 2)]
+            for policy in ("fifo", "wfq")]
+        aimd = entry["aimd"]
+        blocks.append("\n".join([
+            f"-- {setup} (params={entry['params']}, "
+            f"knee={entry['knee_concurrency']}, "
+            f"saturation={entry['saturation_qps']:.0f} QPS, "
+            f"SLO={entry['slo_deadline_ms']:.1f} ms)",
+            "",
+            "closed-loop saturation probe:",
+            format_table(["threads", "QPS", "p50 ms", "p95 ms", "p99 ms"],
+                         probe_rows),
+            "",
+            "offered-load sweep (fraction of saturation):",
+            format_table(["λ/sat", "offered", "QPS", "goodput", "p50 ms",
+                          "p99 ms", "queue ms", "late", "depth"],
+                         sweep_rows),
+            "",
+            "shedding at 1.2x saturation:",
+            format_table(["config", "QPS", "goodput", "shed", "late",
+                          "p99 ms"], shed_rows),
+            "",
+            "noisy neighbor (light tenant p99 vs isolated "
+            f"{fairness['isolated_light_p99_ms']:.2f} ms):",
+            format_table(["policy", "light p99 ms", "vs isolated",
+                          "light goodput", "noisy p99 ms"], fair_rows),
+            "",
+            f"AIMD: limit {aimd['final_limit']} after "
+            f"{aimd['adaptations']} adaptations, "
+            f"qps {aimd['qps']:.0f}, goodput {aimd['goodput_qps']:.0f}",
+        ]))
+    verdict_rows = [[name, "HOLDS" if holds else "DIFFERS"]
+                    for name, holds in data["verdicts"].items()]
+    blocks.append(format_table(["verdict", "holds"], verdict_rows))
+    return "\n\n".join(blocks)
+
+
 def render_fig5(fig5: dict) -> str:
     blocks = []
     for dataset, entry in fig5["datasets"].items():
@@ -357,6 +428,27 @@ def write_experiments_md(results: StudyResults, path: str) -> None:
             lines.append(f"- **{'HOLDS' if holds else 'DIFFERS'}** — "
                          f"{name.replace('_', ' ')}")
         lines.append("")
+    if results.serving is not None:
+        lines += [
+            "## Open-loop serving (beyond the paper)",
+            "",
+            "The paper's closed-loop sweeps measure capacity; this "
+            "study offers the backend Poisson load it does not control "
+            "(see docs/SERVING.md).  P99 diverges as λ approaches the "
+            "closed-loop saturation while goodput plateaus; deadline "
+            "shedding beats blind queueing at 1.2x saturation; "
+            "weighted fair queueing isolates a light tenant from a "
+            "noisy neighbor where FIFO does not.",
+            "",
+            "```",
+            render_serving_study(results.serving),
+            "```",
+            "",
+        ]
+        for name, holds in results.serving["verdicts"].items():
+            lines.append(f"- **{'HOLDS' if holds else 'DIFFERS'}** — "
+                         f"{name.replace('_', ' ')}")
+        lines.append("")
     lines += [
         "## Observation verdicts",
         "",
@@ -424,6 +516,11 @@ def render_study(results: StudyResults) -> str:
         sections += [
             "\n== Fault injection & resilience (beyond the paper)",
             render_resilience_comparison(results.resilience),
+        ]
+    if results.serving is not None:
+        sections += [
+            "\n== Open-loop serving (beyond the paper)",
+            render_serving_study(results.serving),
         ]
     sections += [
         "\n== Observations and key findings",

@@ -38,6 +38,11 @@ class StudyResults:
     #: ledger reconciliation and verdicts (see
     #: :func:`repro.core.figures.resilience_comparison`).
     resilience: dict | None = None
+    #: The open-loop serving study (beyond the paper): saturation
+    #: probe, λ sweep, shedding, FIFO-vs-WFQ fairness, and the AIMD
+    #: controller on the first dataset (see
+    #: :func:`repro.serve.study.serving_study`).
+    serving: dict | None = None
 
     @property
     def holds(self) -> dict[str, bool]:
@@ -103,6 +108,9 @@ def run_study(datasets: t.Sequence[str] = DATASET_NAMES,
     fig12_15 = figures.fig12_to_15_data(datasets, beam_widths)
     report("fault injection & resilience study")
     resilience = figures.resilience_comparison(datasets[0])
+    report("open-loop serving study")
+    from repro.serve.study import serving_study
+    serving = serving_study(datasets[0], progress=progress)
     report("checking observations")
     checks = run_observation_checks(fig2, fig3, fig5, fig6, fig7_11,
                                     fig12_15)
@@ -111,4 +119,4 @@ def run_study(datasets: t.Sequence[str] = DATASET_NAMES,
         fig5=fig5, fig6=fig6, fig7_11=fig7_11, fig12_15=fig12_15,
         checks=checks,
         key_findings=observations.key_findings(checks),
-        resilience=resilience)
+        resilience=resilience, serving=serving)

@@ -119,6 +119,16 @@ class WorkloadError(ReproError):
     """An experiment or workload configuration is invalid."""
 
 
+class ServeError(ReproError):
+    """The serving layer was misconfigured (see :mod:`repro.serve`).
+
+    Raised eagerly when a :class:`~repro.serve.ServeConfig` is invalid —
+    unknown queue policy, non-positive arrival rate, mixed closed- and
+    open-loop tenants — never mid-simulation: admission-control
+    rejections and deadline sheds are *outcomes* counted in the
+    :class:`~repro.serve.ServeResult`, not errors."""
+
+
 @dataclasses.dataclass(frozen=True)
 class DegradedResult:
     """Record of graceful degradation applied during a benchmark run.

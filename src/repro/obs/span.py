@@ -13,7 +13,13 @@ went — the stages of the paper's query path:
 * ``prefetch`` — time blocked joining speculative reads still in
   flight (zero when the look-ahead fully overlapped them);
 * ``fault`` — fault-handling overhead: abandoned (timed-out) read
-  waits and retry backoff sleeps (zero on a healthy run).
+  waits and retry backoff sleeps (zero on a healthy run);
+* ``queue`` — time spent in the serving layer's admission queue
+  between arrival and dispatch (zero on closed-loop runs, where a
+  client never issues before its previous query returned — see
+  :mod:`repro.serve`).  Everything after dispatch is time in
+  *service*: the latency decomposition is ``queue`` vs the sum of
+  the other stages.
 
 Stage timings are kept both per segment (:class:`SegmentTiming`, one per
 searched segment, mirroring Milvus's intra-query parallelism) and as
@@ -28,8 +34,8 @@ from __future__ import annotations
 import dataclasses
 import typing as t
 
-STAGES = ("rpc", "pool_wait", "cpu", "cpu_wait", "device", "prefetch",
-          "fault")
+STAGES = ("queue", "rpc", "pool_wait", "cpu", "cpu_wait", "device",
+          "prefetch", "fault")
 
 
 @dataclasses.dataclass

@@ -111,6 +111,15 @@ class RunTelemetry:
         ``hedges``, ``hedge_wins``, or ``read_failures``."""
         self.counter(f"resilience_{event}").inc(amount)
 
+    def on_serve(self, event: str, amount: int = 1) -> None:
+        """Record serving-layer admission outcomes (see
+        :mod:`repro.serve`): ``arrivals``, ``admitted``, ``rejected``
+        (queue-bound admission control), ``shed`` (deadline-based load
+        shedding at dispatch), ``batches``, ``completed``,
+        ``slo_completions`` (finished within deadline), or
+        ``slo_misses``."""
+        self.counter(f"serve_{event}").inc(amount)
+
     def on_durability(self, event: str, amount: int = 1) -> None:
         """Record durability actions (see :mod:`repro.durability`):
         ``saves``, ``loads``, ``records_written``, ``records_verified``,

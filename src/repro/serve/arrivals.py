@@ -1,0 +1,173 @@
+"""Seeded open-loop arrival processes: the offered-load side of serving.
+
+The paper's methodology (Section III-B) — and
+:meth:`~repro.workload.runner.BenchRunner.run` — is *closed-loop*: N
+client threads each keep exactly one query in flight, so the arrival of
+the next query waits for the completion of the previous one and the
+offered load self-throttles at saturation.  A production service faces
+*open-loop* traffic: users issue queries independently of how busy the
+backend is, so when offered load exceeds capacity the queue grows
+without bound instead of the QPS curve politely flattening.
+
+Three generator families, all seeded and deterministic:
+
+* :class:`PoissonArrivals` — memoryless arrivals at a constant mean
+  rate λ, the M/G/k baseline of open-loop analysis;
+* :class:`BurstyArrivals` — a two-state Markov-modulated Poisson
+  process (calm rate / burst rate with exponential state holding
+  times), the standard model for flash crowds;
+* :class:`ClosedLoopArrivals` — not a timeline at all but a marker
+  telling the :class:`~repro.serve.Server` to run N closed-loop
+  clients exactly like the benchmark runner, the back-compat bridge
+  used by the determinism tests.
+
+``timeline()`` materializes the whole arrival schedule up front (one
+sorted tuple of seconds), so a serve run's schedule is a pure function
+of (model, duration, seed) — replaying it is bit-identical.
+
+>>> PoissonArrivals(rate_qps=1000.0).timeline(0.0013, seed=7)
+(0.0006950315675043658, 0.001017069141456395, 0.001294730435567306)
+>>> PoissonArrivals(rate_qps=1000.0).mean_qps
+1000.0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.errors import ServeError
+
+
+def _rng(seed: int, *stream: int) -> np.random.Generator:
+    """An independent, reproducible generator per (seed, stream...)."""
+    return np.random.default_rng((0x5E17E, seed) + stream)
+
+
+@dataclasses.dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at a constant mean rate of *rate_qps*.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1/rate_qps``
+    — the textbook open-loop client population.
+    """
+
+    rate_qps: float
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ServeError(f"arrival rate must be > 0: {self.rate_qps}")
+
+    @property
+    def mean_qps(self) -> float:
+        """Long-run offered load, queries per second."""
+        return self.rate_qps
+
+    def timeline(self, duration_s: float, seed: int = 0,
+                 stream: int = 0) -> tuple[float, ...]:
+        """Arrival times in ``[0, duration_s)``, sorted ascending."""
+        if duration_s <= 0:
+            raise ServeError(f"duration must be > 0: {duration_s}")
+        rng = _rng(seed, stream)
+        # Draw in chunks: the count over the window is ~Poisson(rate*T).
+        times: list[float] = []
+        now = 0.0
+        chunk = max(16, int(self.rate_qps * duration_s * 1.2))
+        while now < duration_s:
+            gaps = rng.exponential(1.0 / self.rate_qps, size=chunk)
+            for gap in gaps:
+                now += float(gap)
+                if now >= duration_s:
+                    break
+                times.append(now)
+        return tuple(times)
+
+
+@dataclasses.dataclass(frozen=True)
+class BurstyArrivals:
+    """A two-state Markov-modulated Poisson process (MMPP-2).
+
+    The source alternates between a *calm* state (``base_qps``) and a
+    *burst* state (``burst_qps``), holding each for an exponentially
+    distributed time (means ``mean_calm_s`` / ``mean_burst_s``).
+    Memorylessness lets the per-state gap draw restart at each state
+    switch without biasing the process.
+    """
+
+    base_qps: float
+    burst_qps: float
+    mean_calm_s: float = 0.2
+    mean_burst_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if min(self.base_qps, self.burst_qps) <= 0:
+            raise ServeError(f"arrival rates must be > 0: {self}")
+        if min(self.mean_calm_s, self.mean_burst_s) <= 0:
+            raise ServeError(f"state holding times must be > 0: {self}")
+
+    @property
+    def mean_qps(self) -> float:
+        """Long-run offered load: rates weighted by state occupancy."""
+        total = self.mean_calm_s + self.mean_burst_s
+        return (self.base_qps * self.mean_calm_s
+                + self.burst_qps * self.mean_burst_s) / total
+
+    def timeline(self, duration_s: float, seed: int = 0,
+                 stream: int = 0) -> tuple[float, ...]:
+        """Arrival times in ``[0, duration_s)``, sorted ascending."""
+        if duration_s <= 0:
+            raise ServeError(f"duration must be > 0: {duration_s}")
+        rng = _rng(seed, stream)
+        times: list[float] = []
+        now = 0.0
+        burst = False
+        switch_at = float(rng.exponential(self.mean_calm_s))
+        while now < duration_s:
+            rate = self.burst_qps if burst else self.base_qps
+            gap = float(rng.exponential(1.0 / rate))
+            if now + gap >= switch_at:
+                # State switch preempts the pending draw; the
+                # exponential's memorylessness makes the redraw exact.
+                now = switch_at
+                burst = not burst
+                switch_at += float(rng.exponential(
+                    self.mean_burst_s if burst else self.mean_calm_s))
+                continue
+            now += gap
+            if now < duration_s:
+                times.append(now)
+        return tuple(times)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClosedLoopArrivals:
+    """Back-compat marker: run *clients* closed-loop benchmark clients.
+
+    No arrival timeline exists — each client issues its next query the
+    moment the previous one completes, exactly like
+    :meth:`~repro.workload.runner.BenchRunner.run`.  An inert server
+    configuration over this model reproduces the closed-loop run's QPS
+    and P99 bit for bit (asserted by the determinism suite).
+    """
+
+    clients: int = 1
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ServeError(f"clients must be >= 1: {self.clients}")
+
+    @property
+    def mean_qps(self) -> float | None:
+        """Closed loops have no offered rate; load adapts to service."""
+        return None
+
+    def timeline(self, duration_s: float, seed: int = 0,
+                 stream: int = 0) -> t.NoReturn:
+        raise ServeError(
+            "closed-loop arrivals have no timeline; the Server runs "
+            f"{self.clients} closed-loop clients instead")
+
+
+ArrivalModel = t.Union[PoissonArrivals, BurstyArrivals, ClosedLoopArrivals]

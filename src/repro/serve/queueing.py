@@ -1,0 +1,172 @@
+"""Bounded admission queues: who waits, and who runs next.
+
+The :class:`~repro.serve.Server` holds arrivals it cannot dispatch
+immediately in an admission queue.  Three pluggable policies:
+
+* :class:`FifoQueue` — arrival order, the default and the baseline a
+  noisy neighbor exploits: a burst from one tenant lands *in front of*
+  every later arrival from every other tenant;
+* :class:`WeightedFairQueue` — self-clocked weighted fair queueing.
+  Each query gets a *finish tag* ``max(V, last_finish[tenant]) +
+  1/weight`` where ``V`` is the virtual time (the finish tag of the
+  query being dispatched); dispatch pops the smallest tag.  A tenant
+  with weight ``w`` gets a ``w``-proportional share of dispatch slots
+  no matter how deep another tenant's backlog is — this is what bounds
+  the light tenant's P99 in the noisy-neighbor study;
+* :class:`EdfQueue` — earliest deadline first, the natural partner of
+  deadline-based load shedding: the query closest to missing its SLO
+  runs next.
+
+All queues are *bounded*: ``push`` returns ``False`` when the queue
+holds ``bound`` entries, and the server counts that arrival as
+``rejected`` (admission control).  Ties break on arrival sequence
+number, so dispatch order is deterministic.
+
+>>> q = make_queue("fifo", bound=2)
+>>> q.push(QueuedQuery(seq=0, tenant=0, index=5, arrival_s=0.0))
+True
+>>> q.push(QueuedQuery(seq=1, tenant=1, index=6, arrival_s=0.1))
+True
+>>> q.push(QueuedQuery(seq=2, tenant=0, index=7, arrival_s=0.2))
+False
+>>> q.pop().seq, q.pop().seq, q.pop()
+(0, 1, None)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import typing as t
+
+from repro.errors import ServeError
+
+#: The queueing policies ``make_queue`` accepts.
+POLICIES = ("fifo", "wfq", "edf")
+
+
+@dataclasses.dataclass
+class QueuedQuery:
+    """One admitted query waiting for dispatch."""
+
+    seq: int                    # global arrival ordinal (tie-breaker)
+    tenant: int                 # index into the config's tenant list
+    index: int                  # position in the query set
+    arrival_s: float
+    deadline_s: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= self.arrival_s:
+            raise ServeError(
+                f"deadline {self.deadline_s} not after arrival "
+                f"{self.arrival_s}")
+
+
+class AdmissionQueue:
+    """Common bound handling; subclasses order the entries."""
+
+    def __init__(self, bound: int | None = None) -> None:
+        if bound is not None and bound < 1:
+            raise ServeError(f"queue bound must be >= 1: {bound}")
+        self.bound = bound
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, query: QueuedQuery) -> bool:
+        """Admit *query*; ``False`` (rejected) when the queue is full."""
+        if self.bound is not None and self._len >= self.bound:
+            return False
+        self._insert(query)
+        self._len += 1
+        return True
+
+    def pop(self) -> QueuedQuery | None:
+        """Remove and return the next query to run; ``None`` if empty."""
+        if not self._len:
+            return None
+        self._len -= 1
+        return self._remove()
+
+    def _insert(self, query: QueuedQuery) -> None:
+        raise NotImplementedError
+
+    def _remove(self) -> QueuedQuery:
+        raise NotImplementedError
+
+
+class FifoQueue(AdmissionQueue):
+    """Dispatch in arrival order."""
+
+    def __init__(self, bound: int | None = None) -> None:
+        super().__init__(bound)
+        self._heap: list[tuple[int, QueuedQuery]] = []
+
+    def _insert(self, query: QueuedQuery) -> None:
+        heapq.heappush(self._heap, (query.seq, query))
+
+    def _remove(self) -> QueuedQuery:
+        return heapq.heappop(self._heap)[1]
+
+
+class EdfQueue(AdmissionQueue):
+    """Dispatch the query whose SLO deadline is nearest."""
+
+    def __init__(self, bound: int | None = None) -> None:
+        super().__init__(bound)
+        self._heap: list[tuple[float, int, QueuedQuery]] = []
+
+    def _insert(self, query: QueuedQuery) -> None:
+        heapq.heappush(self._heap, (query.deadline_s, query.seq, query))
+
+    def _remove(self) -> QueuedQuery:
+        return heapq.heappop(self._heap)[2]
+
+
+class WeightedFairQueue(AdmissionQueue):
+    """Self-clocked weighted fair queueing across tenants.
+
+    Every query costs one dispatch slot; a tenant's slots are spaced
+    ``1/weight`` apart in virtual time, so over any backlogged interval
+    tenant shares converge to their weights.
+    """
+
+    def __init__(self, bound: int | None = None,
+                 weights: t.Sequence[float] = (1.0,)) -> None:
+        super().__init__(bound)
+        if not weights or min(weights) <= 0:
+            raise ServeError(f"tenant weights must be > 0: {weights}")
+        self.weights = tuple(float(w) for w in weights)
+        self._heap: list[tuple[float, int, QueuedQuery]] = []
+        self._virtual = 0.0
+        self._last_finish = [0.0] * len(self.weights)
+
+    def _insert(self, query: QueuedQuery) -> None:
+        if query.tenant >= len(self.weights):
+            raise ServeError(
+                f"tenant {query.tenant} has no weight (got "
+                f"{len(self.weights)})")
+        start = max(self._virtual, self._last_finish[query.tenant])
+        finish = start + 1.0 / self.weights[query.tenant]
+        self._last_finish[query.tenant] = finish
+        heapq.heappush(self._heap, (finish, query.seq, query))
+
+    def _remove(self) -> QueuedQuery:
+        finish, _seq, query = heapq.heappop(self._heap)
+        # Self-clocking: virtual time is the departing query's tag.
+        self._virtual = finish
+        return query
+
+
+def make_queue(policy: str, bound: int | None = None,
+               weights: t.Sequence[float] = (1.0,)) -> AdmissionQueue:
+    """Build the admission queue for *policy* (one of ``POLICIES``)."""
+    if policy == "fifo":
+        return FifoQueue(bound)
+    if policy == "edf":
+        return EdfQueue(bound)
+    if policy == "wfq":
+        return WeightedFairQueue(bound, weights)
+    raise ServeError(f"unknown queue policy {policy!r}; "
+                     f"expected one of {POLICIES}")

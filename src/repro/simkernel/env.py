@@ -83,6 +83,26 @@ class Environment:
         """Start a new simulation process from *generator*."""
         return Process(self, generator)
 
+    def process_at(self, delay: float,
+                   generator: t.Generator[Event, t.Any, t.Any]) -> Event:
+        """Start *generator* after *delay* seconds; fires when it returns.
+
+        Arrival-timed process spawning: the generator is not touched (and
+        consumes no heap slot beyond one timer) until the simulated clock
+        reaches ``now + delay``.  The returned event fires with the
+        generator's return value, exactly like :meth:`process` — open-loop
+        workloads schedule their whole arrival timeline this way.
+        """
+        done = Event(self)
+
+        def launch(_timer: Event) -> None:
+            proc = self.process(generator)
+            proc._wait(lambda p: done.succeed(p.value))
+
+        timer = self.timeout(delay)
+        timer.callbacks.append(launch)
+        return done
+
     def all_of(self, events: t.Sequence[Event]) -> AllOf:
         """Create an event that fires when all of *events* have fired."""
         return AllOf(self, events)

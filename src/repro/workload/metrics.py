@@ -79,6 +79,12 @@ class Summary:
     read_bandwidth: float
     per_query_read_bytes: float
     recall: float | None
+    #: Median/P95 latency across repetitions (NaN when aggregating
+    #: results recorded before these percentiles were captured).
+    p50_latency_s: float = float("nan")
+    p50_latency_std: float = float("nan")
+    p95_latency_s: float = float("nan")
+    p95_latency_std: float = float("nan")
 
 
 def percentile(values: t.Sequence[float], q: float) -> float:
@@ -94,9 +100,16 @@ def summarize(results: t.Sequence[RunResult]) -> Summary:
     """Aggregate repeated runs (all must have succeeded)."""
     if not results:
         raise WorkloadError("summarize of no results")
-    if any(r.failed for r in results):
-        raise WorkloadError("cannot summarize failed runs")
+    for i, result in enumerate(results):
+        if result.failed:
+            raise WorkloadError(
+                f"cannot summarize failed runs: run {i} of "
+                f"{len(results)} ({result.engine}/{result.index_kind} on "
+                f"{result.dataset} at concurrency {result.concurrency}) "
+                f"failed with {result.error!r}")
     qps = [r.qps for r in results]
+    p50 = [r.p50_latency_s for r in results]
+    p95 = [r.p95_latency_s for r in results]
     p99 = [r.p99_latency_s for r in results]
     recalls = [r.recall for r in results if r.recall is not None]
     return Summary(
@@ -109,6 +122,10 @@ def summarize(results: t.Sequence[RunResult]) -> Summary:
         per_query_read_bytes=float(
             np.mean([r.per_query_read_bytes for r in results])),
         recall=float(np.mean(recalls)) if recalls else None,
+        p50_latency_s=float(np.mean(p50)),
+        p50_latency_std=float(np.std(p50)),
+        p95_latency_s=float(np.mean(p95)),
+        p95_latency_std=float(np.std(p95)),
     )
 
 

@@ -112,6 +112,274 @@ class CompiledQuery:
             self.prefetch.append((0, 0))
 
 
+class QueryReplayer:
+    """The single-query replay entry point over one simulated host.
+
+    Owns nothing but references: the environment, the device, the core
+    pool, and (optionally) the DiskANN admission pool, plus the engine
+    profile and the resilience policy.  :meth:`query_proc` is the
+    process generator that replays one :class:`CompiledQuery` end to
+    end — RPC halves, admission pool, amortized fixed CPU, and every
+    per-segment CPU/IO/prefetch step, with the resilience defences
+    (timeout + retry, hedged reads) on the demand-read path.
+
+    Both execution modes dispatch onto it: the closed-loop
+    :meth:`BenchRunner.run` (N clients, one in-flight query each) and
+    the open-loop :class:`repro.serve.Server` (arrival-timed admission
+    with batching and shedding).
+    """
+
+    def __init__(self, env: "Environment", device: SimSSD, cores: Resource,
+                 pool: Resource | None, profile,
+                 telemetry: RunTelemetry | None = None,
+                 resilience: ResiliencePolicy | None = None) -> None:
+        self.env = env
+        self.device = device
+        self.cores = cores
+        self.pool = pool
+        self.profile = profile
+        self.telemetry = telemetry
+        self.resilience = (resilience
+                           if resilience is not None and resilience.active
+                           else None)
+        #: Whether demand reads go through the defended path.
+        self.resilient_reads = self.resilience is not None and (
+            self.resilience.read_timeout_s is not None
+            or self.resilience.hedge_after_s is not None)
+        #: Resilience event counts (timeouts, retries, hedges, ...).
+        self.rcounts: collections.Counter[str] = collections.Counter()
+        self._retry_token = 0    # global retry ordinal (jitter decorrelation)
+
+    def note(self, event: str) -> None:
+        self.rcounts[event] += 1
+        if self.telemetry is not None:
+            self.telemetry.on_resilience(event)
+
+    def _read_attempt(self, payload, timing):
+        """One submission of a demand round, raced against the
+        policy's hedge delay and deadline.  Returns True when the
+        data landed (from either copy), False on timeout."""
+        env, device, resil = self.env, self.device, self.resilience
+        done = device.submit(payload, "R")
+        if timing is not None:
+            timing.read_requests += len(payload)
+            timing.read_bytes += sum(size for _off, size in payload)
+        races = [done]
+        deadline = resil.read_timeout_s
+        if (resil.hedge_after_s is not None
+                and (deadline is None
+                     or resil.hedge_after_s < deadline)):
+            winner = yield env.race(
+                [done, env.timeout(resil.hedge_after_s)])
+            if winner == 0:
+                return True
+            hedged = device.submit(payload, "R")
+            if timing is not None:
+                timing.read_requests += len(payload)
+                timing.read_bytes += sum(
+                    size for _off, size in payload)
+            self.note("hedges")
+            races = [done, hedged]
+            if deadline is not None:
+                deadline -= resil.hedge_after_s
+        if deadline is None:
+            winner = yield env.race(races)
+        else:
+            winner = yield env.race(races + [env.timeout(deadline)])
+            if winner == len(races):
+                return False
+        if winner == 1 and len(races) > 1:
+            self.note("hedge_wins")
+        return True
+
+    def _resilient_read(self, payload, timing, span):
+        """A demand round under the resilience policy: retry with
+        exponential backoff after each timeout.  Returns False when
+        the original plus ``max_retries`` resubmissions all timed
+        out (the round failed permanently)."""
+        env, resil = self.env, self.resilience
+        attempt = 0
+        while True:
+            started = env.now
+            landed = yield from self._read_attempt(payload, timing)
+            if landed:
+                if timing is not None:
+                    timing.device_s += env.now - started
+                if self.telemetry is not None:
+                    self.telemetry.device_round.observe(env.now - started)
+                return True
+            self.note("timeouts")
+            if span is not None:
+                span.add_stage("fault", env.now - started)
+            if attempt >= resil.max_retries:
+                self.note("read_failures")
+                return False
+            attempt += 1
+            self.note("retries")
+            backoff = resil.backoff_s(attempt, self._retry_token)
+            self._retry_token += 1
+            if backoff > 0:
+                yield env.timeout(backoff)
+                if span is not None:
+                    span.add_stage("fault", backoff)
+
+    def _segment_proc(self, steps: list[CompiledStep], span=None,
+                      seg: int = 0, cache_hits: int = 0,
+                      prefetch: tuple[int, int] = (0, 0),
+                      failed: list | None = None):
+        env, device, cores = self.env, self.device, self.cores
+        timing = span.segment(seg) if span is not None else None
+        if timing is not None:
+            timing.cache_hits += cache_hits
+            timing.prefetch_useful += prefetch[0]
+            timing.prefetch_wasted += prefetch[1]
+        outstanding: list = []   # in-flight speculative reads
+        for kind, payload in steps:
+            if kind == "cpu":
+                if timing is None:
+                    yield from cores.use(payload)
+                else:
+                    queued_at = env.now
+                    yield from cores.use(payload)
+                    timing.cpu_s += payload
+                    timing.cpu_wait_s += max(
+                        0.0, env.now - queued_at - payload)
+            elif kind == "pf":
+                # Issue speculatively and keep going: the event is
+                # held, not yielded, so the device time overlaps the
+                # demand beam and CPU that follow.
+                outstanding.append(
+                    device.submit(payload, "R", speculative=True))
+                if timing is not None:
+                    timing.prefetch_requests += len(payload)
+                    timing.prefetch_bytes += sum(
+                        size for _off, size in payload)
+            elif kind == "join":
+                if outstanding:
+                    waited_at = env.now
+                    yield env.all_of(outstanding)
+                    outstanding = []
+                    if timing is not None:
+                        timing.prefetch_wait_s += env.now - waited_at
+            else:
+                if self.resilient_reads:
+                    landed = yield from self._resilient_read(payload,
+                                                             timing, span)
+                    if not landed:
+                        # Permanent read failure: abandon this
+                        # segment; the query is counted as failed.
+                        if failed is not None:
+                            failed[0] = True
+                        return
+                elif timing is None:
+                    yield device.submit(payload, "R")
+                else:
+                    submitted_at = env.now
+                    yield device.submit(payload, "R")
+                    timing.device_s += env.now - submitted_at
+                    timing.read_requests += len(payload)
+                    timing.read_bytes += sum(
+                        size for _off, size in payload)
+                    self.telemetry.device_round.observe(
+                        env.now - submitted_at)
+        # Speculative reads never joined (the wasted ones) complete
+        # in the background; their channel occupancy is already
+        # accounted at submission.
+
+    def query_proc(self, plan: CompiledQuery, span=None,
+                   fixed_cpu: float = 0.0):
+        """Replay one compiled query; returns True if it failed.
+
+        ``fixed_cpu`` is this query's share of the profile's fixed
+        per-query CPU cost — the caller decides the amortization
+        (closed loop: over ``min(concurrency, batch_cap)``; the serving
+        layer: over the dispatched batch).
+        """
+        env, profile, pool = self.env, self.profile, self.pool
+        failed = [False]
+        if profile.rpc_s:
+            yield env.timeout(profile.rpc_s / 2)
+            if span is not None:
+                span.add_stage("rpc", profile.rpc_s / 2)
+        if pool is not None:
+            queued_at = env.now
+            yield pool.request()
+            if span is not None:
+                span.add_stage("pool_wait", env.now - queued_at)
+        try:
+            if fixed_cpu > 0:
+                queued_at = env.now
+                yield from self.cores.use(fixed_cpu)
+                if span is not None:
+                    span.add_stage("cpu", fixed_cpu)
+                    span.add_stage("cpu_wait", max(
+                        0.0, env.now - queued_at - fixed_cpu))
+            parallel = (profile.intra_query_parallelism
+                        and len(plan.segments) > 1)
+            if parallel:
+                yield env.all_of([
+                    env.process(self._segment_proc(steps, span, seg, hits,
+                                                   pf, failed))
+                    for seg, (steps, hits, pf) in enumerate(
+                        zip(plan.segments, plan.cache_hits,
+                            plan.prefetch))])
+            else:
+                for seg, (steps, hits, pf) in enumerate(
+                        zip(plan.segments, plan.cache_hits,
+                            plan.prefetch)):
+                    yield from self._segment_proc(steps, span, seg, hits,
+                                                  pf, failed)
+                    if failed[0]:
+                        break
+        finally:
+            if pool is not None:
+                pool.release()
+        if profile.rpc_s:
+            yield env.timeout(profile.rpc_s / 2)
+            if span is not None:
+                span.add_stage("rpc", profile.rpc_s / 2)
+        return failed[0]
+
+
+@dataclasses.dataclass
+class ReplaySession:
+    """One fresh simulated host with compiled plans bound to it.
+
+    Built by :meth:`BenchRunner.open_replay`: the environment, the
+    calibrated device (with optional fault injector and tracer), the
+    core and admission pools, and a :class:`QueryReplayer` over them,
+    alongside the cold/warm compiled plans of the requested search
+    parameters.  Callers drive it by spawning
+    ``session.replayer.query_proc(plan, ...)`` processes and running
+    ``session.env``.
+    """
+
+    env: "Environment"
+    device: SimSSD
+    cores: Resource
+    pool: Resource | None
+    tracer: BlockTracer
+    injector: FaultInjector | None
+    replayer: QueryReplayer
+    cold: list[CompiledQuery]
+    warm: list[CompiledQuery]
+    recall: float | None
+    telemetry: RunTelemetry | None
+    _cold_replayed: set[int] = dataclasses.field(default_factory=set)
+
+    def plan_for(self, index: int) -> tuple[CompiledQuery, bool]:
+        """The plan to replay for query *index*, tracking warm-up.
+
+        The first replay of an index after the cache drop uses its cold
+        profile, every later one the warm profile; returns
+        ``(plan, cold)``.
+        """
+        cold = index not in self._cold_replayed
+        if cold:
+            self._cold_replayed.add(index)
+        return (self.cold[index] if cold else self.warm[index]), cold
+
+
 class BenchRunner:
     """Runs one (engine, collection, dataset) combination."""
 
@@ -251,6 +519,42 @@ class BenchRunner:
 
     # -- timing phase -----------------------------------------------------------
 
+    def open_replay(self, search_params: dict | None = None, *,
+                    telemetry: RunTelemetry | None = None,
+                    trace: bool = False,
+                    fault_plan: FaultPlan | None = None,
+                    resilience: ResiliencePolicy | None = None,
+                    ) -> ReplaySession:
+        """A fresh simulated host ready to replay this runner's queries.
+
+        Compiles (or reuses) the cold/warm plans for *search_params* and
+        builds the environment, device, core pool, and optional DiskANN
+        admission pool — everything :meth:`run` assembles for a closed
+        loop, packaged for callers that drive their own schedule (the
+        open-loop :class:`repro.serve.Server`).
+        """
+        params = dict(search_params or {})
+        cold, warm, recall = self._compile(params)
+        env = Environment()
+        tracer = BlockTracer(enabled=trace)
+        injector = (FaultInjector(fault_plan, telemetry=telemetry)
+                    if fault_plan is not None else None)
+        device = SimSSD(env, self.device_spec, tracer, telemetry=telemetry,
+                        injector=injector)
+        cores = Resource(env, self.cores, name="cores", telemetry=telemetry)
+        profile = self.engine.profile
+        pool_size = getattr(profile, "diskann_pool", 0)
+        pool = (Resource(env, pool_size, name="diskann_pool",
+                         telemetry=telemetry)
+                if pool_size and self.collection.index_spec.kind == "diskann"
+                else None)
+        replayer = QueryReplayer(env, device, cores, pool, profile,
+                                 telemetry=telemetry, resilience=resilience)
+        return ReplaySession(env=env, device=device, cores=cores, pool=pool,
+                             tracer=tracer, injector=injector,
+                             replayer=replayer, cold=cold, warm=warm,
+                             recall=recall, telemetry=telemetry)
+
     def run(self, concurrency: int, search_params: dict | None = None,
             duration_s: float = 4.0, max_queries: int = 25_000,
             trace: bool = False, phase: int = 0,
@@ -311,7 +615,9 @@ class BenchRunner:
             return failure("out-of-memory")
 
         cache_base = self._cache_counters() if telem is not None else {}
-        cold, warm, recall = self._compile(params)
+        session = self.open_replay(params, telemetry=telem, trace=trace,
+                                   fault_plan=fault_plan, resilience=resil)
+        cold, warm, recall = session.cold, session.warm, session.recall
         degraded_cold = degraded_warm = None
         recall_degraded: float | None = None
         degraded_params: dict[str, t.Any] = {}
@@ -325,204 +631,13 @@ class BenchRunner:
             degraded_cold, degraded_warm, recall_degraded = self._compile(
                 degraded_params)
             tracker = PressureTracker(resil)
-        env = Environment()
-        tracer = BlockTracer(enabled=trace)
-        injector = (FaultInjector(fault_plan, telemetry=telem)
-                    if fault_plan is not None else None)
-        device = SimSSD(env, self.device_spec, tracer, telemetry=telem,
-                        injector=injector)
-        cores = Resource(env, self.cores, name="cores", telemetry=telem)
-        pool_size = getattr(profile, "diskann_pool", 0)
-        pool = (Resource(env, pool_size, name="diskann_pool",
-                         telemetry=telem)
-                if pool_size and self.collection.index_spec.kind == "diskann"
-                else None)
+        env, device, cores = session.env, session.device, session.cores
+        tracer, injector = session.tracer, session.injector
+        replayer = session.replayer
         fixed_cpu = (profile.fixed_query_cpu_s
                      / min(concurrency, profile.batch_cap))
         state = _RunState(n_queries=len(self.queries),
                           max_queries=max_queries)
-        resilient_reads = resil is not None and (
-            resil.read_timeout_s is not None
-            or resil.hedge_after_s is not None)
-        rcounts: collections.Counter[str] = collections.Counter()
-        retry_token = [0]    # global retry ordinal (jitter decorrelation)
-
-        def note(event: str) -> None:
-            rcounts[event] += 1
-            if telem is not None:
-                telem.on_resilience(event)
-
-        def read_attempt(payload, timing):
-            """One submission of a demand round, raced against the
-            policy's hedge delay and deadline.  Returns True when the
-            data landed (from either copy), False on timeout."""
-            done = device.submit(payload, "R")
-            if timing is not None:
-                timing.read_requests += len(payload)
-                timing.read_bytes += sum(size for _off, size in payload)
-            races = [done]
-            deadline = resil.read_timeout_s
-            if (resil.hedge_after_s is not None
-                    and (deadline is None
-                         or resil.hedge_after_s < deadline)):
-                winner = yield env.race(
-                    [done, env.timeout(resil.hedge_after_s)])
-                if winner == 0:
-                    return True
-                hedged = device.submit(payload, "R")
-                if timing is not None:
-                    timing.read_requests += len(payload)
-                    timing.read_bytes += sum(
-                        size for _off, size in payload)
-                note("hedges")
-                races = [done, hedged]
-                if deadline is not None:
-                    deadline -= resil.hedge_after_s
-            if deadline is None:
-                winner = yield env.race(races)
-            else:
-                winner = yield env.race(races + [env.timeout(deadline)])
-                if winner == len(races):
-                    return False
-            if winner == 1 and len(races) > 1:
-                note("hedge_wins")
-            return True
-
-        def resilient_read(payload, timing, span):
-            """A demand round under the resilience policy: retry with
-            exponential backoff after each timeout.  Returns False when
-            the original plus ``max_retries`` resubmissions all timed
-            out (the round failed permanently)."""
-            attempt = 0
-            while True:
-                started = env.now
-                landed = yield from read_attempt(payload, timing)
-                if landed:
-                    if timing is not None:
-                        timing.device_s += env.now - started
-                    if telem is not None:
-                        telem.device_round.observe(env.now - started)
-                    return True
-                note("timeouts")
-                if span is not None:
-                    span.add_stage("fault", env.now - started)
-                if attempt >= resil.max_retries:
-                    note("read_failures")
-                    return False
-                attempt += 1
-                note("retries")
-                backoff = resil.backoff_s(attempt, retry_token[0])
-                retry_token[0] += 1
-                if backoff > 0:
-                    yield env.timeout(backoff)
-                    if span is not None:
-                        span.add_stage("fault", backoff)
-
-        def segment_proc(steps: list[CompiledStep], span=None,
-                         seg: int = 0, cache_hits: int = 0,
-                         prefetch: tuple[int, int] = (0, 0),
-                         failed: list | None = None):
-            timing = span.segment(seg) if span is not None else None
-            if timing is not None:
-                timing.cache_hits += cache_hits
-                timing.prefetch_useful += prefetch[0]
-                timing.prefetch_wasted += prefetch[1]
-            outstanding: list = []   # in-flight speculative reads
-            for kind, payload in steps:
-                if kind == "cpu":
-                    if timing is None:
-                        yield from cores.use(payload)
-                    else:
-                        queued_at = env.now
-                        yield from cores.use(payload)
-                        timing.cpu_s += payload
-                        timing.cpu_wait_s += max(
-                            0.0, env.now - queued_at - payload)
-                elif kind == "pf":
-                    # Issue speculatively and keep going: the event is
-                    # held, not yielded, so the device time overlaps the
-                    # demand beam and CPU that follow.
-                    outstanding.append(
-                        device.submit(payload, "R", speculative=True))
-                    if timing is not None:
-                        timing.prefetch_requests += len(payload)
-                        timing.prefetch_bytes += sum(
-                            size for _off, size in payload)
-                elif kind == "join":
-                    if outstanding:
-                        waited_at = env.now
-                        yield env.all_of(outstanding)
-                        outstanding = []
-                        if timing is not None:
-                            timing.prefetch_wait_s += env.now - waited_at
-                else:
-                    if resilient_reads:
-                        landed = yield from resilient_read(payload, timing,
-                                                           span)
-                        if not landed:
-                            # Permanent read failure: abandon this
-                            # segment; the query is counted as failed.
-                            if failed is not None:
-                                failed[0] = True
-                            return
-                    elif timing is None:
-                        yield device.submit(payload, "R")
-                    else:
-                        submitted_at = env.now
-                        yield device.submit(payload, "R")
-                        timing.device_s += env.now - submitted_at
-                        timing.read_requests += len(payload)
-                        timing.read_bytes += sum(
-                            size for _off, size in payload)
-                        telem.device_round.observe(env.now - submitted_at)
-            # Speculative reads never joined (the wasted ones) complete
-            # in the background; their channel occupancy is already
-            # accounted at submission.
-
-        def query_proc(plan: CompiledQuery, span=None):
-            failed = [False]
-            if profile.rpc_s:
-                yield env.timeout(profile.rpc_s / 2)
-                if span is not None:
-                    span.add_stage("rpc", profile.rpc_s / 2)
-            if pool is not None:
-                queued_at = env.now
-                yield pool.request()
-                if span is not None:
-                    span.add_stage("pool_wait", env.now - queued_at)
-            try:
-                if fixed_cpu > 0:
-                    queued_at = env.now
-                    yield from cores.use(fixed_cpu)
-                    if span is not None:
-                        span.add_stage("cpu", fixed_cpu)
-                        span.add_stage("cpu_wait", max(
-                            0.0, env.now - queued_at - fixed_cpu))
-                parallel = (profile.intra_query_parallelism
-                            and len(plan.segments) > 1)
-                if parallel:
-                    yield env.all_of([
-                        env.process(segment_proc(steps, span, seg, hits,
-                                                 pf, failed))
-                        for seg, (steps, hits, pf) in enumerate(
-                            zip(plan.segments, plan.cache_hits,
-                                plan.prefetch))])
-                else:
-                    for seg, (steps, hits, pf) in enumerate(
-                            zip(plan.segments, plan.cache_hits,
-                                plan.prefetch)):
-                        yield from segment_proc(steps, span, seg, hits,
-                                                pf, failed)
-                        if failed[0]:
-                            break
-            finally:
-                if pool is not None:
-                    pool.release()
-            if profile.rpc_s:
-                yield env.timeout(profile.rpc_s / 2)
-                if span is not None:
-                    span.add_stage("rpc", profile.rpc_s / 2)
-            return failed[0]
 
         def client(client_id: int):
             while env.now < duration_s and state.issued < state.max_queries:
@@ -548,7 +663,8 @@ class BenchRunner:
                 if span is not None and degraded:
                     span.degraded = True
                 start = env.now
-                query_failed = yield from query_proc(plan, span)
+                query_failed = yield from replayer.query_proc(plan, span,
+                                                              fixed_cpu)
                 latency = env.now - start
                 if tracker is not None:
                     tracker.on_completion(latency,
@@ -613,7 +729,7 @@ class BenchRunner:
             if resil is not None:
                 for event in ("timeouts", "retries", "hedges",
                               "hedge_wins", "read_failures"):
-                    faults[event] = rcounts.get(event, 0)
+                    faults[event] = replayer.rcounts.get(event, 0)
                 faults["failed_queries"] = state.failures
                 if tracker is not None:
                     faults["degraded"] = DegradedResult(

@@ -47,8 +47,8 @@ class TestQuerySpan:
         assert span.cache_hits == 3
 
     def test_stage_names_are_the_documented_set(self):
-        assert STAGES == ("rpc", "pool_wait", "cpu", "cpu_wait", "device",
-                          "prefetch", "fault")
+        assert STAGES == ("queue", "rpc", "pool_wait", "cpu", "cpu_wait",
+                          "device", "prefetch", "fault")
 
     def test_dict_roundtrip_preserves_segments(self):
         span = make_span()

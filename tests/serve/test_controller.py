@@ -1,0 +1,83 @@
+"""Unit tests for the AIMD concurrency controller."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import AIMDConfig, ConcurrencyController
+
+
+def controller(**overrides):
+    config = dict(target_latency_s=0.1, initial=4, window=4)
+    config.update(overrides)
+    return ConcurrencyController(AIMDConfig(**config))
+
+
+def feed(ctrl, latency, count):
+    for _ in range(count):
+        ctrl.on_completion(latency)
+
+
+def test_additive_increase_when_under_target():
+    ctrl = controller()
+    feed(ctrl, 0.01, 4)
+    assert ctrl.limit == 5
+    feed(ctrl, 0.01, 4)
+    assert ctrl.limit == 6
+
+
+def test_multiplicative_decrease_when_over_target():
+    ctrl = controller(initial=8)
+    feed(ctrl, 0.5, 4)
+    assert ctrl.limit == 4
+    feed(ctrl, 0.5, 4)
+    assert ctrl.limit == 2
+
+
+def test_no_adaptation_before_window_fills():
+    ctrl = controller()
+    feed(ctrl, 0.5, 3)
+    assert ctrl.limit == 4
+    assert ctrl.history == []
+
+
+def test_floor_and_ceiling_clamp_the_limit():
+    ctrl = controller(initial=2, floor=2)
+    feed(ctrl, 0.5, 8)
+    assert ctrl.limit == 2
+    ctrl = controller(initial=4, ceiling=5)
+    feed(ctrl, 0.01, 12)
+    assert ctrl.limit == 5
+
+
+def test_percentile_picks_the_tail_of_the_window():
+    # At percentile=1.0 the window's worst sample governs: one slow
+    # completion out of four backs the limit off despite a fast median.
+    ctrl = controller(percentile=1.0)
+    feed(ctrl, 0.01, 3)
+    ctrl.on_completion(0.5)
+    assert ctrl.limit == 2
+    # At the default 0.95 a 4-sample window tolerates one outlier.
+    ctrl = controller()
+    feed(ctrl, 0.01, 3)
+    ctrl.on_completion(0.5)
+    assert ctrl.limit == 5
+
+
+def test_history_records_adaptations():
+    ctrl = controller()
+    feed(ctrl, 0.01, 4)
+    feed(ctrl, 0.5, 4)
+    assert ctrl.history == [(4, 5), (8, 2)]
+
+
+def test_config_validation():
+    with pytest.raises(ServeError):
+        AIMDConfig(target_latency_s=0.0)
+    with pytest.raises(ServeError):
+        AIMDConfig(target_latency_s=0.1, initial=0)
+    with pytest.raises(ServeError):
+        AIMDConfig(target_latency_s=0.1, decrease=1.0)
+    with pytest.raises(ServeError):
+        AIMDConfig(target_latency_s=0.1, percentile=0.0)
+    with pytest.raises(ServeError):
+        AIMDConfig(target_latency_s=0.1, floor=4, ceiling=2)

@@ -22,12 +22,13 @@ def render_surface() -> str:
     import repro.api
     import repro.engines
     import repro.prefetch
+    import repro.serve
     from repro.api import Session
     from repro.engines.engine import IndexSpec, SearchRequest
     from repro.ann.workprofile import SearchResult
 
     lines = []
-    for module in (repro, repro.engines, repro.prefetch):
+    for module in (repro, repro.engines, repro.prefetch, repro.serve):
         for name in sorted(module.__all__):
             lines.append(f"{module.__name__}: {name}")
     for name in sorted(vars(repro.api)):

@@ -28,11 +28,15 @@ DOCTESTED_MODULES = (
     "repro.faults.resilience",
     "repro.faults.crash",
     "repro.durability.record",
+    "repro.serve.arrivals",
+    "repro.serve.queueing",
+    "repro.serve.controller",
 )
 
 #: Markdown documents whose code blocks are executed.
 DOCUMENTS = ("README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
-             "docs/FAULT_MODEL.md", "docs/DURABILITY.md")
+             "docs/FAULT_MODEL.md", "docs/DURABILITY.md",
+             "docs/SERVING.md")
 
 #: Markdown files whose intra-repo links are checked.
 LINKED = sorted(str(p.relative_to(REPO)) for p in

@@ -10,13 +10,13 @@ from repro.workload.metrics import (RunResult, geometric_mean, percentile,
 
 
 def make_result(qps=100.0, p99=0.01, read_bytes=0, completed=100,
-                elapsed=1.0, error=None):
+                elapsed=1.0, error=None, p50=0.004, p95=0.008):
     return RunResult(
         engine="milvus", index_kind="hnsw", dataset="d", concurrency=1,
         completed=completed, elapsed_s=elapsed, qps=qps,
         mean_latency_s=p99 / 2, p99_latency_s=p99, cpu_utilization=0.5,
         device_utilization=0.0, read_bytes=read_bytes, write_bytes=0,
-        recall=0.9, error=error)
+        p50_latency_s=p50, p95_latency_s=p95, recall=0.9, error=error)
 
 
 def test_derived_bandwidth_and_volume():
@@ -54,11 +54,33 @@ def test_summarize_means_and_stds():
     assert summary.recall == pytest.approx(0.9)
 
 
+def test_summarize_aggregates_p50_p95():
+    summary = summarize([make_result(p50=0.002, p95=0.010),
+                         make_result(p50=0.004, p95=0.020)])
+    assert summary.p50_latency_s == pytest.approx(0.003)
+    assert summary.p50_latency_std == pytest.approx(0.001)
+    assert summary.p95_latency_s == pytest.approx(0.015)
+    assert summary.p95_latency_std == pytest.approx(0.005)
+
+
 def test_summarize_rejects_failures():
     with pytest.raises(WorkloadError):
         summarize([make_result(error="out-of-memory")])
     with pytest.raises(WorkloadError):
         summarize([])
+
+
+def test_summarize_failure_names_the_run():
+    # Regression: the old message said only "cannot summarize failed
+    # runs" — no way to tell *which* repetition died, or of what.
+    results = [make_result(), make_result(error="out-of-memory"),
+               make_result()]
+    with pytest.raises(WorkloadError) as exc:
+        summarize(results)
+    message = str(exc.value)
+    assert "run 1 of 3" in message
+    assert "'out-of-memory'" in message
+    assert "milvus/hnsw" in message
 
 
 def test_geometric_mean():
@@ -74,6 +96,15 @@ def test_geometric_mean_rejects_nonpositive():
 
 
 def test_percentile_fields_default_to_nan():
-    result = make_result()
+    # Results recorded before p50/p95 capture carry NaN, and summaries
+    # over them stay NaN rather than raising.
+    result = RunResult(
+        engine="milvus", index_kind="hnsw", dataset="d", concurrency=1,
+        completed=10, elapsed_s=1.0, qps=10.0, mean_latency_s=0.005,
+        p99_latency_s=0.01, cpu_utilization=0.5, device_utilization=0.0,
+        read_bytes=0, write_bytes=0)
     assert math.isnan(result.p50_latency_s)
     assert math.isnan(result.p95_latency_s)
+    summary = summarize([result])
+    assert math.isnan(summary.p50_latency_s)
+    assert math.isnan(summary.p95_latency_s)

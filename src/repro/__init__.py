@@ -21,6 +21,7 @@ documented in ``docs/ARCHITECTURE.md``.
 """
 
 from repro.api import Session, open_engine
+from repro.bench import BenchConfig, run_bench
 from repro.data.registry import load_dataset
 from repro.ann.workprofile import SearchResult
 from repro.engines.engine import IndexSpec, SearchRequest, VectorEngine
@@ -29,9 +30,10 @@ from repro.faults import FaultPlan, ResiliencePolicy
 from repro.serve import ServeConfig, ServeResult, TenantLoad
 from repro.workload.setup import make_runner
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "BenchConfig",
     "FaultPlan",
     "Filter",
     "IndexSpec",
@@ -47,4 +49,5 @@ __all__ = [
     "load_dataset",
     "make_runner",
     "open_engine",
+    "run_bench",
 ]

@@ -8,7 +8,9 @@ requests), which the engine layer replays on the simulated hardware.
 
 from repro.ann.base import VectorIndex
 from repro.ann.diskann import DiskANNIndex, DiskLayout
-from repro.ann.distance import METRICS, distances, normalize, pairwise, top_k
+from repro.ann.distance import (METRICS, distances, make_batch_kernel,
+                                normalize, pairwise, prepare_queries, top_k,
+                                top_k_batch)
 from repro.ann.flat import FlatIndex
 from repro.ann.hnsw import HNSWIndex
 from repro.ann.ivf import IVFIndex, default_nlist
@@ -46,8 +48,11 @@ __all__ = [
     "greedy_search",
     "kmeans",
     "kmeans_pp_init",
+    "make_batch_kernel",
     "normalize",
     "pairwise",
+    "prepare_queries",
     "robust_prune",
     "top_k",
+    "top_k_batch",
 ]

@@ -43,6 +43,22 @@ class VectorIndex(abc.ABC):
     def search(self, query: np.ndarray, k: int, **params) -> SearchResult:
         """Return the ids of the ~k nearest rows plus the work done."""
 
+    def search_batch(self, queries: np.ndarray, k: int,
+                     **params) -> list[SearchResult]:
+        """Search a ``(B, dim)`` batch; one result per query, in order.
+
+        Results are bit-identical to calling :meth:`search` on each row
+        in sequence — the contract the batch-equivalence property suite
+        enforces for every index kind.  Subclasses with vectorizable
+        scans (flat, IVF) override this to amortize kernel work across
+        the batch; the default simply loops.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2:
+            raise AnnIndexError(
+                f"query batch must be 2D (B, dim): {queries.shape}")
+        return [self.search(query, k, **params) for query in queries]
+
     @abc.abstractmethod
     def memory_bytes(self) -> int:
         """Resident memory footprint of the built index."""

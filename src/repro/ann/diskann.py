@@ -371,7 +371,8 @@ class DiskANNIndex(VectorIndex):
 
             # Full-precision distances of the fetched nodes (their raw
             # vectors arrived with the sectors) — DiskANN's re-ranking.
-            full = self.graph.kernel(query, frontier)
+            full = self.graph.kernel(
+                query, np.asarray(frontier, dtype=np.int64))
             work.add_cpu(full_evals=len(frontier))
             for d, nid in zip(full, frontier):
                 exact[nid] = float(d)
@@ -385,7 +386,7 @@ class DiskANNIndex(VectorIndex):
                         fresh.append(neighbor)
             if fresh:
                 pq_dists = ProductQuantizer.adc_distances(
-                    table, self.codes[fresh])
+                    table, self.codes[np.asarray(fresh, dtype=np.int64)])
                 work.add_cpu(pq_evals=len(fresh))
                 candidates.extend(
                     (float(d), nid) for d, nid in zip(pq_dists, fresh))

@@ -30,8 +30,8 @@ def normalize(X: np.ndarray) -> np.ndarray:
 
 def distances(query: np.ndarray, Y: np.ndarray, metric: str) -> np.ndarray:
     """Distance from one query vector to each row of *Y* (smaller=closer)."""
-    Y = _as_2d(np.asarray(Y))
-    query = np.asarray(query).reshape(-1)
+    Y = _as_2d(np.asarray(Y, dtype=np.float32))
+    query = np.asarray(query, dtype=np.float32).reshape(-1)
     if query.shape[0] != Y.shape[1]:
         raise AnnIndexError(
             f"dimension mismatch: query {query.shape[0]} vs data {Y.shape[1]}")
@@ -116,9 +116,131 @@ def make_kernel(X: np.ndarray, internal_metric: str):
 
 
 def top_k(dists: np.ndarray, k: int) -> np.ndarray:
-    """Indices of the *k* smallest distances, sorted ascending."""
-    k = min(k, dists.shape[0])
+    """Indices of the *k* smallest distances, sorted ascending.
+
+    Fully deterministic: equal distances are broken by ascending index,
+    exactly as if the whole array were stable-sorted by ``(dist, id)``
+    and truncated to *k*.  (``np.argpartition`` alone leaves the order
+    — and, on a tie at the k-th place, even the *membership* — of equal
+    distances unspecified across numpy versions.)
+    """
+    n = dists.shape[0]
+    k = min(k, n)
     if k <= 0:
         return np.empty(0, dtype=np.int64)
+    if k == n:
+        return np.argsort(dists, kind="stable").astype(np.int64)
     part = np.argpartition(dists, k - 1)[:k]
-    return part[np.argsort(dists[part], kind="stable")]
+    threshold = dists[part].max()
+    # All indices at or below the k-th distance, ascending; the stable
+    # sort then ranks by distance with ties in ascending-id order.
+    candidates = np.flatnonzero(dists <= threshold)
+    order = candidates[np.argsort(dists[candidates], kind="stable")]
+    return order[:k].astype(np.int64)
+
+
+def top_k_batch(dists: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`top_k` over a ``(B, n)`` distance matrix.
+
+    Returns ``(B, min(k, n))`` indices; every row is bit-identical to
+    ``top_k(dists[row], k)``.  The fast path partitions all rows in one
+    numpy call; rows with a tie straddling the k-th place (where the
+    partition's membership choice is unspecified) fall back to the
+    scalar routine.
+    """
+    dists = np.asarray(dists)
+    if dists.ndim != 2:
+        raise AnnIndexError(f"top_k_batch needs a 2D matrix: {dists.shape}")
+    n_queries, n = dists.shape
+    k = min(k, n)
+    if k <= 0:
+        return np.empty((n_queries, 0), dtype=np.int64)
+    if k == n:
+        return np.argsort(dists, axis=1, kind="stable").astype(np.int64)
+    # Partition on k (not k-1): position k then holds the (k+1)-th
+    # smallest distance — the minimum of everything excluded — so the
+    # ambiguity test below needs no full-width gather.
+    part = np.argpartition(dists, k, axis=1)
+    kept = np.sort(part[:, :k], axis=1)            # candidate ids ascending
+    kept_dists = np.take_along_axis(dists, kept, axis=1)
+    order = np.argsort(kept_dists, axis=1, kind="stable")
+    out = np.take_along_axis(kept, order, axis=1).astype(np.int64)
+    # A row is ambiguous iff something outside the partition ties the
+    # row's k-th distance; re-rank those rows exactly.
+    threshold = kept_dists.max(axis=1)
+    spill = np.take_along_axis(dists, part[:, k:k + 1], axis=1)[:, 0]
+    for row in np.flatnonzero(spill <= threshold):
+        out[row] = top_k(dists[row], k)
+    return out
+
+
+#: Column width of the batched GEMM blocks.  Scoring always runs
+#: through fixed-shape ``(n, _BATCH_W)`` matrix products (queries
+#: zero-padded to the block width), which makes every result column
+#: independent of the batch size and of the other queries in the block
+#: — the property the batch-vs-sequential bit-identity tests pin down.
+_BATCH_W = 16
+
+
+def make_batch_kernel(X: np.ndarray, internal_metric: str,
+                      x_sq: np.ndarray | None = None):
+    """A closure ``kernel(Q, ids) -> (B, n_ids)`` over rows of *X*.
+
+    The batch-of-queries counterpart of :func:`make_kernel`: *Q* is a
+    ``(B, dim)`` float32 block of prepared queries, *ids* selects rows
+    of *X* (an index array or a slice).  Distances are computed through
+    fixed-width padded GEMM blocks (see :data:`_BATCH_W`), so column
+    ``j`` of the result is bit-identical for any batch that contains
+    query ``j`` — including ``B == 1``, which is how the single-query
+    search paths stay bit-identical to the batched ones.
+
+    For ``l2``, *x_sq* may pass in the precomputed row norms
+    ``einsum("ij,ij->i", X, X)`` to avoid recomputing them per call.
+    """
+    dim = X.shape[1]
+
+    def gemm(Xs: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        """(B, n) inner products via zero-padded fixed-width blocks."""
+        n_queries = Q.shape[0]
+        out = np.empty((n_queries, Xs.shape[0]), dtype=np.float32)
+        for start in range(0, n_queries, _BATCH_W):
+            stop = min(start + _BATCH_W, n_queries)
+            padded = np.zeros((dim, _BATCH_W), dtype=np.float32)
+            padded[:, :stop - start] = Q[start:stop].T
+            out[start:stop] = (Xs @ padded)[:, :stop - start].T
+        return out
+
+    if internal_metric == "ip":
+        def kernel(Q: np.ndarray, ids) -> np.ndarray:
+            return -gemm(X[ids], Q)
+        return kernel
+    if internal_metric == "l2n":
+        def kernel(Q: np.ndarray, ids) -> np.ndarray:
+            return 2.0 - 2.0 * gemm(X[ids], Q)
+        return kernel
+    if internal_metric == "l2":
+        if x_sq is None:
+            x_sq = np.einsum("ij,ij->i", X, X)
+
+        def kernel(Q: np.ndarray, ids) -> np.ndarray:
+            out = x_sq[ids][None, :] + np.einsum(
+                "ij,ij->i", Q, Q)[:, None] - 2.0 * gemm(X[ids], Q)
+            np.maximum(out, 0.0, out=out)
+            return out
+        return kernel
+    raise AnnIndexError(f"no batch kernel for metric {internal_metric!r}")
+
+
+def prepare_queries(queries: np.ndarray, metric: str) -> np.ndarray:
+    """The batch counterpart of :func:`prepare_query`.
+
+    Returns a ``(B, dim)`` float32 block; each row equals
+    ``prepare_query(queries[row], metric)`` bit-for-bit.
+    """
+    queries = np.asarray(queries, dtype=np.float32)
+    if queries.ndim != 2:
+        raise AnnIndexError(
+            f"query batch must be 2D (B, dim): {queries.shape}")
+    if metric == "cosine":
+        return np.vstack([normalize(q) for q in queries])
+    return np.ascontiguousarray(queries)

@@ -72,6 +72,8 @@ class HNSWIndex(VectorIndex):
         self.__dict__.update(state)
         if self._X is not None:
             self._kern = make_kernel(self._X, self._imetric)
+        if self._built:
+            self._freeze_adjacency()  # older pickles hold Python lists
 
     # -- construction -----------------------------------------------------
 
@@ -89,8 +91,20 @@ class HNSWIndex(VectorIndex):
         self._layers = [dict() for _ in range(top + 1)]
         for node in range(n):
             self._insert(node)
+        self._freeze_adjacency()
         self._built = True
         return self
+
+    def _freeze_adjacency(self) -> None:
+        """Convert adjacency lists to int64 arrays once inserts finish.
+
+        Search then gathers neighbour vectors through contiguous index
+        arrays instead of Python lists, which is what the fancy-indexing
+        fast path in numpy wants.
+        """
+        for layer in self._layers:
+            for node, links in layer.items():
+                layer[node] = np.asarray(links, dtype=np.int64)
 
     def _insert(self, node: int) -> None:
         level = int(self._node_levels[node])
@@ -134,14 +148,14 @@ class HNSWIndex(VectorIndex):
         improved = True
         while improved:
             improved = False
-            links = self._layers[level].get(current, [])
-            if not links:
+            links = self._layers[level].get(current)
+            if links is None or len(links) == 0:
                 break
             dists = self._kern(query, links)
             counter.add(links)
             best = int(dists.argmin())
             if dists[best] < current_dist:
-                current = links[best]
+                current = int(links[best])
                 current_dist = float(dists[best])
                 improved = True
         return current
@@ -166,11 +180,14 @@ class HNSWIndex(VectorIndex):
             dist, node = heapq.heappop(candidates)
             if dist > -results[0][0] and len(results) >= ef:
                 break
-            fresh = [nid for nid in self._layers[level].get(node, [])
-                     if nid not in visited]
+            neighbors = self._layers[level].get(node)
+            if neighbors is None or len(neighbors) == 0:
+                continue
+            fresh = [int(nid) for nid in neighbors if int(nid) not in visited]
             if not fresh:
                 continue
             visited.update(fresh)
+            fresh = np.asarray(fresh, dtype=np.int64)
             dists = self._kern(query, fresh)
             counter.add(fresh)
             for d, nid in zip(dists, fresh):

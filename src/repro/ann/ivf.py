@@ -19,8 +19,8 @@ import math
 import numpy as np
 
 from repro.ann.base import VectorIndex
-from repro.ann.distance import (distances, make_kernel, prepare,
-                                 prepare_query, top_k)
+from repro.ann.distance import (make_batch_kernel, prepare, prepare_queries,
+                                 prepare_query, top_k, top_k_batch)
 from repro.ann.kmeans import kmeans
 from repro.ann.pq import ProductQuantizer
 from repro.ann.workprofile import SearchResult, WorkProfile
@@ -68,6 +68,8 @@ class IVFIndex(VectorIndex):
         self._codes: list[np.ndarray] = []       # PQ codes per cell
         self._extents: list[tuple[int, int]] = []  # on-disk (offset, size)
         self._disk_bytes = 0
+        self._x_sq: np.ndarray | None = None     # row norms for l2 kernels
+        self._c_sq: np.ndarray | None = None     # centroid norms for l2
 
     # -- construction -----------------------------------------------------
 
@@ -111,6 +113,10 @@ class IVFIndex(VectorIndex):
             self._extents.append((offset, size))
             offset += size
         self._disk_bytes = offset if self.on_disk else 0
+        if self._imetric == "l2":
+            self._x_sq = np.einsum("ij,ij->i", X, X)
+            self._c_sq = np.einsum("ij,ij->i", self.centroids,
+                                   self.centroids)
         self._built = True
         return self
 
@@ -128,50 +134,102 @@ class IVFIndex(VectorIndex):
 
     def search(self, query: np.ndarray, k: int, *,
                nprobe: int = 8) -> SearchResult:
+        # A batch of one: both paths share _scan, whose fixed-width GEMM
+        # blocks make each query's result independent of its batchmates.
         self._require_built()
+        query = prepare_query(query, self.metric)
+        return self._scan(query.reshape(1, -1), k, nprobe)[0]
+
+    def search_batch(self, queries: np.ndarray, k: int, *,
+                     nprobe: int = 8) -> list[SearchResult]:
+        """Batched search; the centroid scan runs as one GEMM and each
+        probed cell is scored once for every query that probes it."""
+        self._require_built()
+        return self._scan(prepare_queries(queries, self.metric), k, nprobe)
+
+    def _cached_sq(self, attr: str, X: np.ndarray) -> np.ndarray | None:
+        """Row norms for the l2 batch kernel, cached on the instance
+        (lazily, so indexes pickled before the cache existed warm up on
+        first search)."""
+        if self._imetric != "l2":
+            return None
+        val = getattr(self, attr, None)
+        if val is None:
+            val = np.einsum("ij,ij->i", X, X)
+            setattr(self, attr, val)
+        return val
+
+    def _scan(self, Q: np.ndarray, k: int, nprobe: int) -> list[SearchResult]:
         if nprobe < 1:
             raise AnnIndexError(f"nprobe must be >= 1: {nprobe}")
         nprobe = min(nprobe, self.nlist)
-        query = prepare_query(query, self.metric)
-        kernel = make_kernel(self._X, self._imetric)
-        work = WorkProfile()
+        n_queries = Q.shape[0]
 
-        centroid_kernel = make_kernel(self.centroids, self._imetric)
-        centroid_dists = centroid_kernel(query, slice(None))
-        work.add_cpu(full_evals=self.nlist)
-        probes = top_k(centroid_dists, nprobe)
+        centroid_dists = make_batch_kernel(
+            self.centroids, self._imetric,
+            x_sq=self._cached_sq("_c_sq", self.centroids))(Q, slice(None))
+        probes = top_k_batch(centroid_dists, nprobe)
 
-        if self.on_disk:
-            work.add_io([self._extents[cell] for cell in probes])
+        # Invert probes so each cell is scored once per batch, for
+        # exactly the queries that probe it.
+        probe_rows = probes.tolist()
+        cell_rows: dict[int, list[int]] = {}
+        for row, row_probes in enumerate(probe_rows):
+            for cell in row_probes:
+                cell_rows.setdefault(cell, []).append(row)
 
         if self.quantizer is not None:
-            table = self.quantizer.adc_table(query)
-            work.add_cpu(table_builds=1)
-            chunks, ids = [], []
-            for cell in probes:
-                if len(self._lists[cell]) == 0:
-                    continue
-                chunks.append(ProductQuantizer.adc_distances(
-                    table, self._codes[cell]))
-                ids.append(self._lists[cell])
-                work.add_cpu(pq_evals=len(self._lists[cell]))
+            tables = self.quantizer.adc_tables(Q)
         else:
-            chunks, ids = [], []
-            for cell in probes:
-                if len(self._lists[cell]) == 0:
-                    continue
-                chunks.append(kernel(query, self._lists[cell]))
-                ids.append(self._lists[cell])
-                work.add_cpu(full_evals=len(self._lists[cell]))
+            kernel = make_batch_kernel(
+                self._X, self._imetric,
+                x_sq=self._cached_sq("_x_sq", self._X))
 
-        if not chunks:
-            return SearchResult(ids=np.empty(0, dtype=np.int64), work=work,
-                                dists=np.empty(0, dtype=np.float32))
-        all_dists = np.concatenate(chunks)
-        all_ids = np.concatenate(ids)
-        order = top_k(all_dists, k)
-        return SearchResult(ids=all_ids[order], work=work,
-                            dists=all_dists[order].astype(np.float32))
+        scores: dict[tuple[int, int], np.ndarray] = {}
+        for cell, rows in cell_rows.items():
+            cell_ids = self._lists[cell]
+            if len(cell_ids) == 0:
+                continue
+            if self.quantizer is not None:
+                block = ProductQuantizer.adc_distances_batch(
+                    tables[rows], self._codes[cell])
+            else:
+                block = kernel(Q[rows], cell_ids)
+            for pos, row in enumerate(rows):
+                scores[row, cell] = block[pos]
+
+        results = []
+        for row, row_probes in enumerate(probe_rows):
+            work = WorkProfile()
+            work.add_cpu(full_evals=self.nlist)
+            if self.on_disk:
+                work.add_io([self._extents[cell] for cell in row_probes])
+            chunks, idarrs, evals = [], [], 0
+            for cell in row_probes:
+                cell_ids = self._lists[cell]
+                if len(cell_ids) == 0:
+                    continue
+                chunks.append(scores[row, cell])
+                idarrs.append(cell_ids)
+                evals += len(cell_ids)
+            # One merged CPU step; add_cpu folds consecutive CPU work
+            # anyway, so this equals the per-cell accounting it replaces.
+            if self.quantizer is not None:
+                work.add_cpu(table_builds=1, pq_evals=evals)
+            elif evals:
+                work.add_cpu(full_evals=evals)
+            if not chunks:
+                results.append(SearchResult(
+                    ids=np.empty(0, dtype=np.int64), work=work,
+                    dists=np.empty(0, dtype=np.float32)))
+                continue
+            all_dists = np.concatenate(chunks)
+            all_ids = np.concatenate(idarrs)
+            order = top_k(all_dists, k)
+            results.append(SearchResult(
+                ids=all_ids[order], work=work,
+                dists=all_dists[order].astype(np.float32)))
+        return results
 
     # -- footprints --------------------------------------------------------
 

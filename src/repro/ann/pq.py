@@ -32,7 +32,10 @@ class ProductQuantizer:
         self.dsub = dim // m
         self.ksub = 1 << nbits
         self.seed = seed
-        self.codebooks: np.ndarray | None = None  # (m, ksub, dsub)
+        #: Codewords actually learned; < ksub when the training set has
+        #: fewer rows than codewords (set by :meth:`train`).
+        self.ksub_effective = self.ksub
+        self.codebooks: np.ndarray | None = None  # (m, ksub_effective, dsub)
 
     @property
     def trained(self) -> bool:
@@ -44,8 +47,13 @@ class ProductQuantizer:
         if X.ndim != 2 or X.shape[1] != self.dim:
             raise AnnIndexError(f"bad training shape {X.shape} for dim "
                               f"{self.dim}")
+        # With fewer training rows than codewords, only that many
+        # distinct centroids exist; storing duplicated padding rows made
+        # the 1-D grid encoder's searchsorted edges ambiguous, so the
+        # codebooks hold exactly the learned codewords instead.
         ksub = min(self.ksub, X.shape[0])
-        self.codebooks = np.zeros((self.m, self.ksub, self.dsub),
+        self.ksub_effective = ksub
+        self.codebooks = np.zeros((self.m, ksub, self.dsub),
                                   dtype=np.float32)
         for sub in range(self.m):
             block = X[:, sub * self.dsub:(sub + 1) * self.dsub]
@@ -57,14 +65,21 @@ class ProductQuantizer:
                     np.float32).reshape(-1, 1)
             else:
                 centroids, _ = kmeans(block, ksub, seed=self.seed + sub)
-            self.codebooks[sub, :ksub] = centroids
-            if ksub < self.ksub:
-                self.codebooks[sub, ksub:] = centroids[-1]
+            self.codebooks[sub] = centroids
         return self
 
     def _require_trained(self) -> None:
         if not self.trained:
             raise AnnIndexError("product quantizer used before train()")
+
+    def __setstate__(self, state: dict) -> None:
+        # Quantizers pickled before the effective-ksub fix carry padded
+        # codebooks; their stored shape *is* their effective width.
+        self.__dict__.update(state)
+        if "ksub_effective" not in state:
+            self.ksub_effective = (self.codebooks.shape[1]
+                                   if self.codebooks is not None
+                                   else self.ksub)
 
     def encode(self, X: np.ndarray) -> np.ndarray:
         """Quantize rows of *X* to (n, m) uint8 codes."""
@@ -101,18 +116,54 @@ class ProductQuantizer:
         """Per-query table of squared distances to every codeword."""
         self._require_trained()
         query = np.asarray(query, dtype=np.float32).reshape(self.dim)
-        table = np.empty((self.m, self.ksub), dtype=np.float32)
+        table = np.empty((self.m, self.codebooks.shape[1]),
+                         dtype=np.float32)
         for sub in range(self.m):
             diff = self.codebooks[sub] - query[sub * self.dsub:
                                                (sub + 1) * self.dsub]
             table[sub] = np.einsum("kd,kd->k", diff, diff)
         return table
 
+    def adc_tables(self, queries: np.ndarray) -> np.ndarray:
+        """``(B, m, ksub_effective)`` ADC tables for a batch of queries.
+
+        Row ``b`` is bit-identical to ``adc_table(queries[b])``: the
+        broadcast einsum reduces each (codeword, query) pair exactly as
+        the per-query loop does.
+        """
+        self._require_trained()
+        queries = np.asarray(queries, dtype=np.float32).reshape(
+            -1, self.dim)
+        diffs = (self.codebooks[None, :, :, :]
+                 - queries.reshape(-1, self.m, 1, self.dsub))
+        return np.einsum("bmkd,bmkd->bmk", diffs, diffs)
+
     @staticmethod
     def adc_distances(table: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Squared distances of encoded vectors to the table's query."""
         codes = np.asarray(codes, dtype=np.uint8).reshape(-1, table.shape[0])
         return table[np.arange(table.shape[0])[None, :], codes].sum(axis=1)
+
+    @staticmethod
+    def adc_distances_batch(tables: np.ndarray,
+                            codes: np.ndarray) -> np.ndarray:
+        """``(B, n)`` ADC distances: every query's table against a
+        contiguous uint8 code block.
+
+        The per-code ``(subspace, codeword)`` lookups are flattened into
+        one index block shared by every query, so each query's gather is
+        a single ``take`` from its raveled table; the reduction then
+        runs over that contiguous ``(n, m)`` gather so row ``b`` stays
+        bit-identical to ``adc_distances(tables[b], codes)`` (a 3-D
+        ``sum(axis=2)`` accumulates in a different order and is *not*).
+        """
+        n_queries, m, ksub = tables.shape
+        codes = np.asarray(codes, dtype=np.uint8).reshape(-1, m)
+        flat = np.arange(m)[None, :] * ksub + codes        # (n, m)
+        out = np.empty((n_queries, codes.shape[0]), dtype=tables.dtype)
+        for b in range(n_queries):
+            out[b] = tables[b].ravel()[flat].sum(axis=1)
+        return out
 
     def code_bytes(self) -> int:
         """Bytes per encoded vector."""

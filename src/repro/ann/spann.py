@@ -235,24 +235,27 @@ class SPANNIndex(VectorIndex):
                 self._list_cache.admit(cell)
         work.add_io(requests, cache_hits=hits)
 
-        kernel = make_kernel(self._X, self._imetric)
-        best: dict[int, float] = {}
-        for cell in keep:
-            ids = self._lists[cell]
-            if len(ids) == 0:
-                continue
-            cell_dists = kernel(query, ids)
-            work.add_cpu(full_evals=len(ids))
-            for row, dist in zip(ids, cell_dists):
-                row = int(row)
-                dist = float(dist)
-                if row not in best or dist < best[row]:
-                    best[row] = dist     # replicas deduplicate here
-        ranked = sorted(best.items(), key=lambda item: item[1])[:k]
-        return SearchResult(
-            ids=np.asarray([row for row, _d in ranked], dtype=np.int64),
-            work=work,
-            dists=np.asarray([d for _row, d in ranked], dtype=np.float32))
+        nonempty = [cell for cell in keep if len(self._lists[cell])]
+        if not nonempty:
+            return SearchResult(ids=np.empty(0, dtype=np.int64), work=work,
+                                dists=np.empty(0, dtype=np.float32))
+        # One contiguous gather scores every surviving posting list in a
+        # single kernel call (the lists were concatenated on disk anyway).
+        all_ids = np.concatenate([self._lists[cell] for cell in nonempty])
+        all_dists = make_kernel(self._X, self._imetric)(query, all_ids)
+        work.add_cpu(full_evals=len(all_ids))
+        # Replicas deduplicate to their best distance: sort by (id, dist)
+        # and keep the first row of each id run.
+        order = np.lexsort((all_dists, all_ids))
+        sorted_ids = all_ids[order]
+        sorted_dists = all_dists[order]
+        first = np.ones(len(sorted_ids), dtype=bool)
+        first[1:] = sorted_ids[1:] != sorted_ids[:-1]
+        uniq_ids = sorted_ids[first]
+        uniq_dists = sorted_dists[first]
+        sel = top_k(uniq_dists, k)
+        return SearchResult(ids=uniq_ids[sel], work=work,
+                            dists=uniq_dists[sel].astype(np.float32))
 
     # -- footprints --------------------------------------------------------
 

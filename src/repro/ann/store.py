@@ -14,6 +14,7 @@ rebuilds.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import pickle
 import typing as t
@@ -23,6 +24,11 @@ from repro.errors import ReproError
 
 CACHE_ENV = "REPRO_CACHE_DIR"
 DEFAULT_DIR = ".repro-cache"
+
+#: Per-process serial for temp-file names; combined with the pid it
+#: keeps concurrent builders (and re-entrant builds of the same key in
+#: one process) from ever sharing a temp file.
+_tmp_counter = itertools.count()
 
 
 def cache_dir() -> Path:
@@ -65,15 +71,26 @@ class IndexStore:
                     obj = pickle.load(handle)
                 self.hits += 1
                 return obj
-            except (pickle.UnpicklingError, EOFError, AttributeError):
-                path.unlink(missing_ok=True)  # stale/corrupt: rebuild
+            except (pickle.UnpicklingError, EOFError, AttributeError,
+                    ImportError):
+                # Stale or corrupt entry — including pickles referencing
+                # classes that have since been renamed or moved
+                # (ImportError covers ModuleNotFoundError): rebuild.
+                path.unlink(missing_ok=True)
         obj = factory()
         self.builds += 1
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as handle:
-            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        # Unique per process *and* per call: concurrent builders of the
+        # same key each write their own temp file, and the atomic
+        # replace makes the last finisher win with an intact pickle.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_tmp_counter)}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return obj
 
     def clear(self) -> int:

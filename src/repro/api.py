@@ -195,6 +195,28 @@ class Session:
             return self.engine.execute(name, query)
         return self.engine.search(name, query, k, filter_=filter, **params)
 
+    def search_batch(self, name: str, queries: np.ndarray, k: int = 10, *,
+                     filter: Filter | None = None,
+                     **params: t.Any) -> "list[SearchResult]":
+        """Batched top-k search: one result per query row, in order.
+
+        Bit-identical to calling :meth:`search` on each row, but the
+        engine runs segment-major so flat/IVF kernel work is amortized
+        across the batch (the dispatcher's batching in ``repro.serve``
+        rides on the same path).
+
+        >>> import numpy as np
+        >>> session = open_engine()
+        >>> _ = session.create("d", dim=4, index="flat")
+        >>> _ = session.insert("d", np.eye(4, dtype=np.float32),
+        ...                    flush=True)
+        >>> hits = session.search_batch("d", np.eye(4)[:2], k=1)
+        >>> [hit.ids.tolist() for hit in hits]
+        [[0], [1]]
+        """
+        return self.engine.search_batch(name, queries, k,
+                                        filter_=filter, **params)
+
     # -- benchmarking -----------------------------------------------------
 
     def run_bench(self, name: str, queries: np.ndarray, *,

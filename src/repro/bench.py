@@ -1,0 +1,246 @@
+"""Wall-clock benchmark suite for the vectorized query hot path.
+
+Where ``benchmarks/`` replays the *paper's* figures on simulated
+hardware, this module measures the reproduction itself: how fast the
+real kernels run on the machine executing them.  Four families of
+numbers gate the batched hot path:
+
+* **build time** per index kind,
+* **single-query QPS** (the sequential ``search`` loop),
+* **batch QPS** (``search_batch`` over the same query set), and
+* **sim-event throughput** of the discrete-event kernel.
+
+Results are written as a schema-versioned JSON document
+(``BENCH_<pr>.json`` at the repo root; see ``docs/BENCHMARKS.md``).
+The committed trajectory is the regression gate: batched execution must
+amortize kernel work — batch QPS at least 3x single-query QPS on the
+flat and IVF kernels — while staying bit-identical to sequential
+search (the property suite in ``tests/ann`` enforces the identity).
+
+>>> from repro.bench import BenchConfig, validate_bench
+>>> BenchConfig.quick().n < BenchConfig.full().n
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+import typing as t
+from pathlib import Path
+
+import numpy as np
+
+from repro.ann.flat import FlatIndex
+from repro.ann.ivf import IVFIndex
+from repro.ann.pq import ProductQuantizer
+from repro.errors import ReproError
+from repro.simkernel import Environment
+
+#: Version of the BENCH_*.json document layout.  Bump when fields are
+#: added, removed, or change meaning; docs/BENCHMARKS.md describes each
+#: version.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchConfig:
+    """Sizing of one benchmark run."""
+
+    n: int                 #: dataset rows
+    dim: int               #: vector dimensionality
+    n_queries: int         #: query-set size
+    batch_size: int        #: queries per search_batch call
+    k: int                 #: top-k
+    repeats: int           #: timing repeats (best-of)
+    sim_processes: int     #: concurrent processes in the sim benchmark
+    sim_timeouts: int      #: timeout events per sim process
+    metric: str = "cosine"
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        """CI-sized run: seconds, not minutes."""
+        return cls(n=2000, dim=32, n_queries=64, batch_size=64, k=10,
+                   repeats=2, sim_processes=50, sim_timeouts=200)
+
+    @classmethod
+    def full(cls) -> "BenchConfig":
+        """The committed-trajectory sizing."""
+        return cls(n=20_000, dim=64, n_queries=256, batch_size=256, k=10,
+                   repeats=5, sim_processes=200, sim_timeouts=500)
+
+    def as_dict(self) -> dict[str, t.Any]:
+        return dataclasses.asdict(self)
+
+
+def _make_data(config: BenchConfig,
+               seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Clustered vectors + queries (clustered data keeps IVF honest)."""
+    rng = np.random.default_rng(seed)
+    n_centers = 32
+    centers = rng.standard_normal((n_centers, config.dim),
+                                  dtype=np.float32) * 4.0
+    assign = rng.integers(n_centers, size=config.n)
+    X = centers[assign] + rng.standard_normal(
+        (config.n, config.dim), dtype=np.float32)
+    queries = (centers[rng.integers(n_centers, size=config.n_queries)]
+               + rng.standard_normal((config.n_queries, config.dim),
+                                     dtype=np.float32))
+    return X, queries
+
+
+def _best_seconds(fn: t.Callable[[], None], repeats: int) -> float:
+    """Best-of-*repeats* wall-clock seconds of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_index(name: str, index, X: np.ndarray, queries: np.ndarray,
+                 config: BenchConfig,
+                 params: dict[str, t.Any]) -> dict[str, t.Any]:
+    start = time.perf_counter()
+    index.build(X)
+    build_s = time.perf_counter() - start
+
+    def run_single() -> None:
+        for query in queries:
+            index.search(query, config.k, **params)
+
+    def run_batch() -> None:
+        for begin in range(0, len(queries), config.batch_size):
+            index.search_batch(queries[begin:begin + config.batch_size],
+                               config.k, **params)
+
+    single_s = _best_seconds(run_single, config.repeats)
+    batch_s = _best_seconds(run_batch, config.repeats)
+    single_qps = len(queries) / single_s
+    batch_qps = len(queries) / batch_s
+    return {"name": name, "kind": index.kind,
+            "build_s": build_s,
+            "single_qps": single_qps,
+            "batch_qps": batch_qps,
+            "batch_speedup": batch_qps / single_qps,
+            "search_params": params}
+
+
+def _bench_sim(config: BenchConfig) -> dict[str, t.Any]:
+    """Event-processing throughput of the discrete-event kernel."""
+    env = Environment()
+
+    def proc():
+        for _ in range(config.sim_timeouts):
+            yield env.timeout(0.001)
+
+    for _ in range(config.sim_processes):
+        env.process(proc())
+    start = time.perf_counter()
+    env.run()
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    return {"events": env.events_processed,
+            "elapsed_s": elapsed,
+            "events_per_s": env.events_processed / elapsed}
+
+
+def run_bench(quick: bool = False, seed: int = 0) -> dict[str, t.Any]:
+    """Run the whole suite; returns the schema-versioned document."""
+    config = BenchConfig.quick() if quick else BenchConfig.full()
+    X, queries = _make_data(config, seed)
+    cases = [
+        ("flat", FlatIndex(metric=config.metric), {}),
+        ("ivf", IVFIndex(metric=config.metric, seed=seed),
+         {"nprobe": 8}),
+        ("ivf-pq", IVFIndex(metric=config.metric, seed=seed,
+                            quantizer=ProductQuantizer(
+                                config.dim, m=config.dim // 4, seed=seed),
+                            on_disk=True),
+         {"nprobe": 8}),
+    ]
+    results = [_bench_index(name, index, X, queries, config, params)
+               for name, index, params in cases]
+    doc = {"schema_version": BENCH_SCHEMA_VERSION,
+           "quick": quick,
+           "seed": seed,
+           "config": config.as_dict(),
+           "results": results,
+           "sim": _bench_sim(config)}
+    validate_bench(doc)
+    return doc
+
+
+_RESULT_FIELDS = ("build_s", "single_qps", "batch_qps", "batch_speedup")
+_SIM_FIELDS = ("events", "elapsed_s", "events_per_s")
+
+
+def validate_bench(doc: dict[str, t.Any]) -> None:
+    """Raise :class:`~repro.errors.ReproError` unless *doc* conforms
+    to the version-1 BENCH schema (see ``docs/BENCHMARKS.md``)."""
+    if not isinstance(doc, dict):
+        raise ReproError(f"bench document must be an object: {type(doc)}")
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        raise ReproError(
+            f"unsupported bench schema_version {doc.get('schema_version')!r}"
+            f" (expected {BENCH_SCHEMA_VERSION})")
+    for key in ("quick", "seed", "config", "results", "sim"):
+        if key not in doc:
+            raise ReproError(f"bench document missing {key!r}")
+    if not isinstance(doc["results"], list) or not doc["results"]:
+        raise ReproError("bench results must be a non-empty list")
+    for result in doc["results"]:
+        for key in ("name", "kind") + _RESULT_FIELDS:
+            if key not in result:
+                raise ReproError(
+                    f"bench result {result.get('name')!r} missing {key!r}")
+        for key in _RESULT_FIELDS:
+            value = result[key]
+            if not isinstance(value, (int, float)) or not value > 0:
+                raise ReproError(
+                    f"bench result {result['name']!r}: {key} must be a "
+                    f"positive number, got {value!r}")
+    sim = doc["sim"]
+    for key in _SIM_FIELDS:
+        if key not in sim:
+            raise ReproError(f"bench sim section missing {key!r}")
+        if not isinstance(sim[key], (int, float)) or not sim[key] > 0:
+            raise ReproError(
+                f"bench sim: {key} must be a positive number, "
+                f"got {sim[key]!r}")
+
+
+def write_bench(doc: dict[str, t.Any], path: str | Path) -> None:
+    """Validate and write *doc* as pretty-printed JSON."""
+    validate_bench(doc)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench(path: str | Path) -> dict[str, t.Any]:
+    """Read and validate a BENCH_*.json document."""
+    doc = json.loads(Path(path).read_text())
+    validate_bench(doc)
+    return doc
+
+
+def format_bench(doc: dict[str, t.Any]) -> str:
+    """Human-readable summary of a bench document."""
+    lines = [f"bench (schema v{doc['schema_version']}, "
+             f"{'quick' if doc['quick'] else 'full'}): "
+             f"n={doc['config']['n']} dim={doc['config']['dim']} "
+             f"queries={doc['config']['n_queries']} "
+             f"batch={doc['config']['batch_size']}"]
+    header = (f"{'index':<8} {'build(s)':>9} {'1-q QPS':>10} "
+              f"{'batch QPS':>10} {'speedup':>8}")
+    lines.append(header)
+    for result in doc["results"]:
+        lines.append(
+            f"{result['name']:<8} {result['build_s']:>9.3f} "
+            f"{result['single_qps']:>10.0f} {result['batch_qps']:>10.0f} "
+            f"{result['batch_speedup']:>7.1f}x")
+    sim = doc["sim"]
+    lines.append(f"sim kernel: {sim['events']} events in "
+                 f"{sim['elapsed_s']:.3f}s "
+                 f"({sim['events_per_s']:,.0f} events/s)")
+    return "\n".join(lines)

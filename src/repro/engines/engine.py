@@ -350,6 +350,34 @@ class Collection:
         return self.search(request.query, request.k,
                            filter_=request.filter, **request.param_dict)
 
+    def search_batch(self, queries: np.ndarray, k: int = 10, *,
+                     filter_: Filter | None = None,
+                     **params: t.Any) -> list[SearchResult]:
+        """Batched :meth:`search`; one result per query, in order.
+
+        Bit-identical to looping :meth:`search` over the rows — the
+        batch runs segment-major, so each segment sees the queries in
+        the same order (and mutates its caches identically) as the
+        sequential loop does.  Tombstones and filters escalate
+        per-query, so those paths simply delegate to :meth:`search`.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim != 2:
+            raise EngineError(
+                f"query batch must be 2D (B, dim): {queries.shape}")
+        if k <= 0:
+            raise EngineError(f"k must be positive: {k}")
+        if filter_ is not None or self.tombstones:
+            return [self.search(query, k, filter_=filter_, **params)
+                    for query in queries]
+        results = []
+        for response in self._gather_batch(queries, k, **params):
+            keep = list(range(min(k, len(response.ids))))
+            results.append(SearchResult(
+                ids=response.ids[keep], work=response.work,
+                dists=response.dists[keep], works=response.works))
+        return results
+
     def _gather(self, query: np.ndarray, k: int,
                 **params: t.Any) -> SearchResult:
         all_ids, all_dists, works = [], [], []
@@ -374,6 +402,46 @@ class Collection:
         order = np.argsort(dists, kind="stable")[:k]
         return SearchResult(ids=ids[order], work=merged,
                             dists=dists[order], works=works)
+
+    def _gather_batch(self, queries: np.ndarray, k: int,
+                      **params: t.Any) -> list[SearchResult]:
+        """Segment-major counterpart of :func:`_gather`.
+
+        Each segment's batched search amortizes its kernel work across
+        the whole query block; the per-query merge afterwards is the
+        same stable sort as the sequential path.
+        """
+        n_queries = queries.shape[0]
+        per_ids: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
+        per_dists: list[list[np.ndarray]] = [[] for _ in range(n_queries)]
+        per_works: list[list[WorkProfile]] = [[] for _ in range(n_queries)]
+        for segment in self.segments:
+            for row, result in enumerate(
+                    segment.search_batch(queries, k, **params)):
+                per_ids[row].append(result.ids)
+                per_dists[row].append(result.dists)
+                per_works[row].append(result.work)
+        if len(self.growing):
+            for row, result in enumerate(
+                    self.growing.search_batch(queries, k)):
+                per_ids[row].append(result.ids)
+                per_dists[row].append(result.dists)
+                per_works[row].append(result.work)
+        gathered = []
+        for row in range(n_queries):
+            works = per_works[row]
+            merged = merge_works(works)
+            if not per_ids[row]:
+                gathered.append(SearchResult(
+                    ids=np.empty(0, dtype=np.int64), work=merged,
+                    dists=np.empty(0, dtype=np.float32), works=works))
+                continue
+            ids = np.concatenate(per_ids[row])
+            dists = np.concatenate(per_dists[row])
+            order = np.argsort(dists, kind="stable")[:k]
+            gathered.append(SearchResult(ids=ids[order], work=merged,
+                                         dists=dists[order], works=works))
+        return gathered
 
     # -- accounting --------------------------------------------------------
 
@@ -459,6 +527,14 @@ class VectorEngine:
     def execute(self, name: str, request: SearchRequest) -> SearchResult:
         """Run a typed :class:`SearchRequest` against a collection."""
         return self.collection(name).execute(request)
+
+    def search_batch(self, name: str, queries: np.ndarray, k: int = 10, *,
+                     filter_: Filter | None = None,
+                     **params: t.Any) -> list[SearchResult]:
+        """Batched search against a collection (see
+        :meth:`Collection.search_batch`)."""
+        return self.collection(name).search_batch(
+            queries, k, filter_=filter_, **params)
 
     # -- memory ---------------------------------------------------------------
 

@@ -47,6 +47,14 @@ class Segment:
         return SearchResult(ids=self.row_ids[result.ids], work=result.work,
                             dists=result.dists)
 
+    def search_batch(self, queries: np.ndarray, k: int,
+                     **params) -> list[SearchResult]:
+        """Batched :meth:`search`; one result per query, global ids."""
+        results = self.index.search_batch(queries, k, **params)
+        return [SearchResult(ids=self.row_ids[result.ids],
+                             work=result.work, dists=result.dists)
+                for result in results]
+
     def memory_bytes(self) -> int:
         return int(self.vectors.nbytes + self.row_ids.nbytes
                    + self.index.memory_bytes())
@@ -87,6 +95,11 @@ class GrowingBuffer:
         ids = np.asarray(self._row_ids, dtype=np.int64)[order]
         return SearchResult(ids=ids, work=work,
                             dists=dists[order].astype(np.float32))
+
+    def search_batch(self, queries: np.ndarray,
+                     k: int) -> list[SearchResult]:
+        """Batched :meth:`search`; bit-identical to looping it."""
+        return [self.search(query, k) for query in queries]
 
     def drain(self) -> tuple[np.ndarray, np.ndarray]:
         """Remove and return (row_ids, vectors) for sealing."""

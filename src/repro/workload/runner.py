@@ -453,8 +453,11 @@ class BenchRunner:
     def _functional_pass(self, params: dict[str, t.Any],
                          ) -> tuple[list[CompiledQuery], list[np.ndarray]]:
         plans, found = [], []
-        for query in self.queries:
-            response = self.collection.search(query, self.k, **params)
+        # One batched call: segment kernels amortize across the whole
+        # query set, and the results are bit-identical to per-query
+        # searches (the engine-level batch contract).
+        for response in self.collection.search_batch(
+                self.queries, self.k, **params):
             segments, seg_hits, seg_pf = [], [], []
             # Map work profiles to segment ids: works are appended in
             # segment order, the growing buffer last.

@@ -74,6 +74,28 @@ def test_top_k_sorted_ascending():
     assert top_k(d, 3).tolist() == [3, 1, 2]
 
 
+def test_top_k_breaks_ties_by_ascending_id():
+    # Regression: argpartition alone leaves tied ids in arbitrary order
+    # (and arbitrary *membership* when the tie straddles k).
+    d = np.array([2.0, 0.0, 1.0, 0.0, 1.0, 0.0])
+    assert top_k(d, 4).tolist() == [1, 3, 5, 2]
+    assert top_k(np.zeros(6), 3).tolist() == [0, 1, 2]
+
+
+def test_duplicated_vectors_return_lowest_ids_first():
+    """Duplicate rows produce exactly tied distances; the searched index
+    must surface the duplicates in ascending-id order, deterministically.
+    """
+    from repro.ann.flat import FlatIndex
+    rng = np.random.default_rng(6)
+    base = rng.standard_normal((5, 8)).astype(np.float32)
+    X = np.vstack([base, base, base])  # ids i, i+5, i+10 are identical
+    for metric in ("l2", "cosine"):
+        flat = FlatIndex(metric=metric).build(X)
+        ids = flat.search(base[2], 3).ids
+        assert ids.tolist() == [2, 7, 12]
+
+
 def test_top_k_clamps_to_length():
     assert len(top_k(np.array([1.0, 2.0]), 10)) == 2
     assert len(top_k(np.array([1.0]), 0)) == 0
@@ -125,3 +147,25 @@ def test_prepare_query_normalizes_only_for_cosine():
     q = np.array([3.0, 4.0], dtype=np.float32)
     assert np.linalg.norm(prepare_query(q, "cosine")) == pytest.approx(1.0)
     assert np.array_equal(prepare_query(q, "l2"), q)
+
+
+def test_distances_casts_integer_inputs():
+    # Regression: without the float32 cast, int32 arithmetic overflows
+    # (60000**2 > 2**31) and l2 came back negative.
+    Y = np.array([[0]], dtype=np.int32)
+    q = np.array([60_000], dtype=np.int32)
+    d = distances(q, Y, "l2")
+    assert d.dtype == np.float32
+    assert d[0] == pytest.approx(3.6e9)
+
+
+def test_distances_casts_float64_to_float32():
+    rng = np.random.default_rng(7)
+    Y64 = rng.standard_normal((6, 4))
+    q64 = rng.standard_normal(4)
+    for metric in ("l2", "ip", "cosine"):
+        d = distances(q64, Y64, metric)
+        assert d.dtype == np.float32
+        expected = distances(q64.astype(np.float32),
+                             Y64.astype(np.float32), metric)
+        assert np.array_equal(d, expected)

@@ -83,11 +83,42 @@ def test_one_dim_subspaces_use_quantile_grid(data):
     assert err < 1e-3  # 256 levels per scalar: near-lossless
 
 
-def test_small_training_set_pads_codebooks():
+def test_small_training_set_shrinks_codebooks():
+    # Regression: with fewer training rows than codewords the codebooks
+    # were padded with duplicate rows, which made the 1-D grid encoder's
+    # searchsorted edges ambiguous and wasted ADC table width.
     X = np.random.default_rng(1).standard_normal((10, 8)).astype(np.float32)
     pq = ProductQuantizer(dim=8, m=2).train(X)
+    assert pq.ksub_effective == 10
+    assert pq.codebooks.shape == (2, 10, 4)
     codes = pq.encode(X)
+    assert codes.max() < pq.ksub_effective
     assert np.isfinite(pq.decode(codes)).all()
+
+
+def test_small_training_set_one_dim_grid_path():
+    """dsub == 1 uses quantile grids; tiny sets must stay consistent."""
+    X = np.random.default_rng(2).standard_normal((6, 4)).astype(np.float32)
+    pq = ProductQuantizer(dim=4, m=4).train(X)
+    assert pq.ksub_effective == 6
+    codes = pq.encode(X)
+    assert codes.max() < 6
+    # Near-lossless: every training scalar is its own grid point.
+    assert np.allclose(pq.decode(codes), X, atol=1e-5)
+
+
+def test_small_training_set_adc_tables_match_effective_width():
+    X = np.random.default_rng(3).standard_normal((10, 8)).astype(np.float32)
+    Q = np.random.default_rng(4).standard_normal((3, 8)).astype(np.float32)
+    pq = ProductQuantizer(dim=8, m=2).train(X)
+    assert pq.adc_table(Q[0]).shape == (2, 10)
+    assert pq.adc_tables(Q).shape == (3, 2, 10)
+    codes = pq.encode(X)
+    batch = ProductQuantizer.adc_distances_batch(pq.adc_tables(Q), codes)
+    for b in range(3):
+        assert np.array_equal(
+            batch[b], ProductQuantizer.adc_distances(pq.adc_table(Q[b]),
+                                                     codes))
 
 
 def test_code_bytes(data):

@@ -1,5 +1,6 @@
 """Unit tests for the built-index disk cache."""
 
+import os
 import pickle
 
 import numpy as np
@@ -63,6 +64,39 @@ def test_corrupt_entry_is_rebuilt(store):
     store.get_or_build(key, lambda: 1)
     store.path_for(key).write_bytes(b"not a pickle")
     assert store.get_or_build(key, lambda: 99) == 99
+
+
+def test_stale_class_reference_is_rebuilt(store):
+    # Regression: a cached pickle referencing a module that has since
+    # been renamed raised ModuleNotFoundError straight through
+    # get_or_build instead of triggering a rebuild.
+    key = cache_key(kind="renamed")
+    store.get_or_build(key, lambda: 1)
+    store.path_for(key).write_bytes(b"cno_such_module_xyz\nNoClass\n.")
+    assert store.get_or_build(key, lambda: 7) == 7
+    assert store.builds == 2
+
+
+def test_temp_files_unique_per_write(store, monkeypatch):
+    # Regression: a fixed "<key>.pkl.tmp" name let concurrent builders
+    # of one key clobber each other's half-written temp file.
+    import repro.ann.store as store_mod
+    sources = []
+    real_replace = store_mod.os.replace
+
+    def spy(src, dst):
+        sources.append(str(src))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(store_mod.os, "replace", spy)
+    key = cache_key(kind="tmpname")
+    store.get_or_build(key, lambda: 1)
+    store.get_or_build(key, lambda: 2, refresh=True)
+    assert len(sources) == 2
+    assert sources[0] != sources[1]
+    assert all(str(os.getpid()) in src for src in sources)
+    # No temp litter left behind either way.
+    assert list(store.root.glob("*.tmp")) == []
 
 
 def test_clear_removes_entries(store):

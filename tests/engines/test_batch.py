@@ -1,0 +1,91 @@
+"""Engine-level batched search: identical to the sequential path."""
+
+import numpy as np
+import pytest
+
+from repro.engines import Filter, IndexSpec, VectorEngine
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def engine():
+    return VectorEngine("milvus")
+
+
+@pytest.fixture
+def loaded(engine, small_data):
+    engine.create_collection("docs", small_data.shape[1],
+                             IndexSpec.of("ivf", nlist=16),
+                             storage_dim=768)
+    engine.insert("docs", small_data,
+                  payloads=[{"group": int(i % 5)}
+                            for i in range(len(small_data))])
+    engine.flush("docs")
+    return engine
+
+
+def _assert_same(sequential, batch):
+    assert len(batch) == len(sequential)
+    for seq_r, bat_r in zip(sequential, batch):
+        assert np.array_equal(seq_r.ids, bat_r.ids)
+        assert np.array_equal(seq_r.dists, bat_r.dists)
+
+
+def test_batch_matches_sequential_flushed(loaded, small_queries):
+    sequential = [loaded.search("docs", q, k=7, nprobe=4)
+                  for q in small_queries]
+    batch = loaded.search_batch("docs", small_queries, k=7, nprobe=4)
+    _assert_same(sequential, batch)
+
+
+def test_batch_matches_sequential_with_growing_buffer(
+        loaded, small_data, small_queries):
+    # Unflushed rows route through the growing buffer's brute-force
+    # path; the batch merge must still agree with sequential search.
+    loaded.insert("docs", small_data[:40] + 0.01)
+    sequential = [loaded.search("docs", q, k=7, nprobe=4)
+                  for q in small_queries]
+    batch = loaded.search_batch("docs", small_queries, k=7, nprobe=4)
+    _assert_same(sequential, batch)
+
+
+def test_batch_with_filter_delegates_per_query(loaded, small_queries):
+    flt = Filter.where(group=3)
+    sequential = [loaded.search("docs", q, k=5, filter_=flt, nprobe=4)
+                  for q in small_queries]
+    batch = loaded.search_batch("docs", small_queries, k=5,
+                                filter_=flt, nprobe=4)
+    _assert_same(sequential, batch)
+
+
+def test_batch_respects_tombstones(loaded, small_queries):
+    victims = [int(i) for i in
+               loaded.search("docs", small_queries[0], k=3, nprobe=4).ids]
+    loaded.delete("docs", victims)
+    batch = loaded.search_batch("docs", small_queries, k=5, nprobe=4)
+    sequential = [loaded.search("docs", q, k=5, nprobe=4)
+                  for q in small_queries]
+    _assert_same(sequential, batch)
+    for result in batch:
+        assert not set(result.ids.tolist()) & set(victims)
+
+
+def test_batch_rejects_bad_shapes(loaded, small_queries):
+    with pytest.raises(EngineError):
+        loaded.search_batch("docs", small_queries[0], k=5)
+    with pytest.raises(EngineError):
+        loaded.search_batch("docs", small_queries, k=0)
+
+
+def test_session_search_batch(small_data, small_queries):
+    from repro.api import open_engine
+    session = open_engine("qdrant")
+    session.create("docs", dim=small_data.shape[1], index="hnsw",
+                   M=8, ef_construction=40)
+    session.insert("docs", small_data)
+    session.flush("docs")
+    sequential = [session.search("docs", q, k=5, ef_search=24)
+                  for q in small_queries]
+    batch = session.search_batch("docs", small_queries, k=5,
+                                 ef_search=24)
+    _assert_same(sequential, batch)

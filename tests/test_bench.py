@@ -1,0 +1,84 @@
+"""The wall-clock benchmark suite and its BENCH_*.json schema."""
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import (BENCH_SCHEMA_VERSION, BenchConfig, format_bench,
+                         load_bench, run_bench, validate_bench, write_bench)
+from repro.errors import ReproError
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return run_bench(quick=True, seed=0)
+
+
+def test_quick_doc_validates_and_covers_all_cases(quick_doc):
+    validate_bench(quick_doc)
+    assert quick_doc["schema_version"] == BENCH_SCHEMA_VERSION
+    assert [r["name"] for r in quick_doc["results"]] == [
+        "flat", "ivf", "ivf-pq"]
+    for result in quick_doc["results"]:
+        assert result["single_qps"] > 0
+        assert result["batch_qps"] > 0
+    config = BenchConfig.quick()
+    assert quick_doc["sim"]["events"] >= (
+        config.sim_processes * config.sim_timeouts)
+
+
+def test_roundtrip_through_disk(quick_doc, tmp_path):
+    path = tmp_path / "bench.json"
+    write_bench(quick_doc, path)
+    assert load_bench(path) == quick_doc
+
+
+def test_format_bench_mentions_every_index(quick_doc):
+    text = format_bench(quick_doc)
+    for name in ("flat", "ivf", "ivf-pq", "sim kernel"):
+        assert name in text
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda d: d.pop("sim"),
+    lambda d: d.update(schema_version=99),
+    lambda d: d.update(results=[]),
+    lambda d: d["results"][0].pop("batch_qps"),
+    lambda d: d["results"][0].update(batch_speedup=0),
+    lambda d: d["sim"].update(events_per_s="fast"),
+])
+def test_validate_rejects_malformed_documents(quick_doc, mutate):
+    doc = copy.deepcopy(quick_doc)
+    mutate(doc)
+    with pytest.raises(ReproError):
+        validate_bench(doc)
+
+
+def test_validate_rejects_non_dict():
+    with pytest.raises(ReproError):
+        validate_bench([])
+
+
+def test_committed_trajectory_holds_the_gate():
+    """BENCH_6.json is the committed trajectory: it must validate and
+    show batching amortizing kernel work on the flat and IVF paths."""
+    doc = load_bench(REPO / "BENCH_6.json")
+    assert doc["quick"] is False
+    speedups = {r["name"]: r["batch_speedup"] for r in doc["results"]}
+    assert speedups["flat"] >= 3.0
+    assert speedups["ivf"] >= 3.0
+
+
+def test_cli_bench_writes_valid_json(tmp_path, capsys):
+    from repro.cli import main
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--quick", "-o", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    validate_bench(doc)
+    assert doc["quick"] is True
+    stdout = capsys.readouterr().out
+    assert "batch QPS" in stdout

@@ -20,6 +20,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 DOCTESTED_MODULES = (
     "repro.api",
     "repro.errors",
+    "repro.bench",
     "repro.engines.engine",
     "repro.engines.params",
     "repro.ann.workprofile",
@@ -36,7 +37,7 @@ DOCTESTED_MODULES = (
 #: Markdown documents whose code blocks are executed.
 DOCUMENTS = ("README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
              "docs/FAULT_MODEL.md", "docs/DURABILITY.md",
-             "docs/SERVING.md")
+             "docs/SERVING.md", "docs/BENCHMARKS.md")
 
 #: Markdown files whose intra-repo links are checked.
 LINKED = sorted(str(p.relative_to(REPO)) for p in

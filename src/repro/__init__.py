@@ -14,14 +14,18 @@ Subpackages
   load shedding, SLO/goodput accounting (beyond the paper);
 - ``repro.trace``    — block-trace analysis (bandwidth, request sizes);
 - ``repro.faults``   — fault injection + resilience (beyond the paper);
+- ``repro.cluster``  — sharding, replication, scatter-gather top-k over
+  simulated nodes, behind the same :class:`Deployment` facade;
 - ``repro.core``     — the study: figures, observation checks, reports.
 
 The architecture — how a query flows through these layers — is
 documented in ``docs/ARCHITECTURE.md``.
 """
 
-from repro.api import Session, open_engine
+from repro.api import ClusterSession, Deployment, Session, open_cluster, \
+    open_engine
 from repro.bench import BenchConfig, run_bench
+from repro.cluster import ClusterTopology
 from repro.data.registry import load_dataset
 from repro.ann.workprofile import SearchResult
 from repro.engines.engine import IndexSpec, SearchRequest, VectorEngine
@@ -30,10 +34,13 @@ from repro.faults import FaultPlan, ResiliencePolicy
 from repro.serve import ServeConfig, ServeResult, TenantLoad
 from repro.workload.setup import make_runner
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BenchConfig",
+    "ClusterSession",
+    "ClusterTopology",
+    "Deployment",
     "FaultPlan",
     "Filter",
     "IndexSpec",
@@ -48,6 +55,7 @@ __all__ = [
     "__version__",
     "load_dataset",
     "make_runner",
+    "open_cluster",
     "open_engine",
     "run_bench",
 ]

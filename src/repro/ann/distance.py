@@ -98,14 +98,32 @@ def make_kernel(X: np.ndarray, internal_metric: str):
 
     Avoids the per-call validation of :func:`distances` in index hot
     loops; *X* must already be the output of :func:`prepare`.
+
+    Every inner product runs through the same fixed-width padded GEMM
+    as :func:`make_batch_kernel` (never a raw BLAS matvec), so a row's
+    distance depends only on its content and the query — not on how
+    many other rows happen to be gathered into the same scoring call.
+    BLAS matvec paths switch algorithms (and summation order) with the
+    gathered row count, which made the *same* vector score to
+    different last-ulp bits in different frontiers; content-only bits
+    are what keeps a sharded index's distances identical to the
+    single-node index's for identical rows, which the cluster layer's
+    (distance, id) merge relies on (see :mod:`repro.cluster.merge`).
     """
+    dim = X.shape[1]
+
+    def matvec(Xs: np.ndarray, query: np.ndarray) -> np.ndarray:
+        padded = np.zeros((dim, _BATCH_W), dtype=np.float32)
+        padded[:, 0] = query
+        return (Xs @ padded)[:, 0]
+
     if internal_metric == "ip":
         def kernel(query: np.ndarray, ids) -> np.ndarray:
-            return -(X[ids] @ query)
+            return -matvec(X[ids], query)
         return kernel
     if internal_metric == "l2n":
         def kernel(query: np.ndarray, ids) -> np.ndarray:
-            return 2.0 - 2.0 * (X[ids] @ query)
+            return 2.0 - 2.0 * matvec(X[ids], query)
         return kernel
     if internal_metric == "l2":
         def kernel(query: np.ndarray, ids) -> np.ndarray:

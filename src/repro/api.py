@@ -37,8 +37,49 @@ from repro.workload.runner import BenchRunner, WriteLoad
 
 if t.TYPE_CHECKING:
     from repro.ann.workprofile import SearchResult
-    from repro.faults import FaultPlan, ResiliencePolicy
+    from repro.cluster import Cluster, ClusterBenchRunner, ClusterTopology
+    from repro.cluster.cluster import ShardedCollection
+    from repro.faults import FaultPlan, NodeFaultPlan, ResiliencePolicy
     from repro.serve import ServeConfig, ServeResult
+
+
+@t.runtime_checkable
+class Deployment(t.Protocol):
+    """What every deployment shape serves, single-node or cluster.
+
+    The deployment-agnostic facade contract: :class:`Session` (one
+    engine) and :class:`ClusterSession` (an N-node cluster) both
+    implement it, so code written against these verbs runs unchanged on
+    either — ``open_engine`` and ``open_cluster`` are interchangeable
+    constructors.  Checkable at runtime::
+
+        >>> isinstance(open_engine(), Deployment)
+        True
+    """
+
+    def create(self, name: str, dim: int, index, metric: str,
+               storage_dim: int | None, **index_params: t.Any): ...
+
+    def drop(self, name: str) -> None: ...
+
+    def collections(self) -> list[str]: ...
+
+    def insert(self, name: str, vectors: np.ndarray,
+               payloads, flush: bool) -> np.ndarray: ...
+
+    def flush(self, name: str) -> None: ...
+
+    def delete(self, name: str, row_ids: t.Iterable[int]) -> int: ...
+
+    def search(self, name: str, query: t.Any, k: int, **params): ...
+
+    def search_batch(self, name: str, queries: np.ndarray,
+                     k: int, **params): ...
+
+    def save(self, path: str) -> None: ...
+
+    def serve(self, name: str, queries: np.ndarray, config,
+              **options): ...
 
 
 def open_engine(profile: EngineProfile | str = "milvus",
@@ -65,6 +106,36 @@ def open_saved(path: str) -> "Session":
     did.  (The engine's seed is part of its committed state.)
     """
     return Session(VectorEngine.load(path))
+
+
+def open_cluster(topology: "ClusterTopology",
+                 profile: EngineProfile | str = "milvus",
+                 seed: int = 0) -> "ClusterSession":
+    """A :class:`ClusterSession` over a fresh simulated cluster.
+
+    The cluster runs one full engine with *profile* per node, sharded
+    and replicated per *topology*; the session exposes the same
+    :class:`Deployment` verbs as :func:`open_engine`, so single-node
+    code ports by swapping the constructor:
+
+    >>> from repro.cluster import ClusterTopology
+    >>> session = open_cluster(ClusterTopology(n_shards=2))
+    >>> session.profile.name
+    'milvus'
+    """
+    from repro.cluster import Cluster
+    return ClusterSession(Cluster(topology, profile, seed=seed))
+
+
+def open_saved_cluster(path: str) -> "ClusterSession":
+    """A :class:`ClusterSession` recovered from a cluster store.
+
+    *path* is a store written by :meth:`ClusterSession.save`: one
+    crash-consistent durable store per node plus the cluster manifest
+    (topology, routing, and the global id maps).
+    """
+    from repro.cluster import Cluster
+    return ClusterSession(Cluster.load(path))
 
 
 def open_bench(setup: str, dataset: str,
@@ -300,6 +371,175 @@ class Session:
         ...     "d", rng.standard_normal((4, 8), dtype=np.float32), config)
         >>> result.completed > 0 and result.rejected == 0
         True
+        """
+        from repro.serve import Server
+        runner = self.bench_runner(name, queries,
+                                   ground_truth=ground_truth, k=k,
+                                   paper_n=paper_n)
+        return Server(runner, config, telemetry=telemetry).serve()
+
+
+class ClusterSession:
+    """The :class:`Deployment` facade over a simulated cluster.
+
+    Same verbs, same semantics as :class:`Session` — callers see global
+    row ids and merged top-k answers; sharding, replication, and the
+    scatter-gather merge stay behind the facade.  With one shard and
+    one replica every answer is bit-identical (ids *and* distances) to
+    a :class:`Session` over a single engine fed the same calls.
+
+    >>> import numpy as np
+    >>> from repro.cluster import ClusterTopology
+    >>> session = open_cluster(ClusterTopology(n_shards=2), "milvus")
+    >>> _ = session.create("docs", dim=8, index="flat")
+    >>> rng = np.random.default_rng(0)
+    >>> ids = session.insert(
+    ...     "docs", rng.standard_normal((64, 8), dtype=np.float32),
+    ...     flush=True)
+    >>> ids.tolist() == list(range(64))
+    True
+    >>> hits = session.search("docs", rng.standard_normal(8), k=3)
+    >>> len(hits.ids)
+    3
+    """
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    @property
+    def profile(self) -> EngineProfile:
+        """The engine profile every node runs."""
+        return self.cluster.profile
+
+    @property
+    def topology(self) -> "ClusterTopology":
+        """The cluster's shape: shards, replicas, interconnect."""
+        return self.cluster.topology
+
+    # -- collection lifecycle ---------------------------------------------
+
+    def create(self, name: str, dim: int, index: str | IndexSpec = "hnsw",
+               metric: str = "cosine", storage_dim: int | None = None,
+               **index_params: t.Any) -> "ShardedCollection":
+        """Create a collection on every replica of every shard."""
+        if isinstance(index, IndexSpec):
+            spec = index
+        else:
+            spec = IndexSpec.of(index, metric, **index_params)
+        return self.cluster.create(name, dim, spec,
+                                   storage_dim=storage_dim)
+
+    def drop(self, name: str) -> None:
+        """Drop a collection from every node."""
+        self.cluster.drop(name)
+
+    def collections(self) -> list[str]:
+        """Names of all cluster collections, sorted."""
+        return self.cluster.collections()
+
+    # -- data plane -------------------------------------------------------
+
+    def insert(self, name: str, vectors: np.ndarray,
+               payloads: t.Sequence[Payload | None] | None = None,
+               flush: bool = False) -> np.ndarray:
+        """Append rows; returns their *global* ids (dense, in order)."""
+        ids = self.cluster.insert(name, vectors, payloads)
+        if flush:
+            self.cluster.flush(name)
+        return ids
+
+    def flush(self, name: str) -> None:
+        """Seal growing rows into indexed segments, cluster-wide."""
+        self.cluster.flush(name)
+
+    def delete(self, name: str, row_ids: t.Iterable[int]) -> int:
+        """Tombstone rows by global id; returns how many existed."""
+        return self.cluster.delete(name, row_ids)
+
+    # -- persistence ------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Persist every node plus the cluster manifest at *path*.
+
+        Reopen with :func:`open_saved_cluster`.
+        """
+        self.cluster.save(path)
+
+    # -- search -----------------------------------------------------------
+
+    def search(self, name: str, query: t.Any, k: int = 10, *,
+               filter: Filter | None = None, shard: int | None = None,
+               **params: t.Any) -> "SearchResult":
+        """Scatter-gather top-k; result ids are global.
+
+        *query* may be a routed :class:`~repro.engines.SearchRequest`
+        (then *k*/params must be left at defaults) — its ``shard``
+        hint narrows the scatter, and its ``consistency`` /
+        ``deadline_s`` shape replay timing.
+        """
+        if isinstance(query, SearchRequest):
+            return self.cluster.execute(name, query)
+        return self.cluster.search(name, query, k, filter_=filter,
+                                   shard=shard, **params)
+
+    def search_batch(self, name: str, queries: np.ndarray, k: int = 10, *,
+                     filter: Filter | None = None,
+                     shard: int | None = None,
+                     **params: t.Any) -> "list[SearchResult]":
+        """Batched scatter-gather; one merged result per query row."""
+        return self.cluster.search_batch(name, queries, k,
+                                         filter_=filter, shard=shard,
+                                         **params)
+
+    # -- benchmarking -----------------------------------------------------
+
+    def run_bench(self, name: str, queries: np.ndarray, *,
+                  ground_truth: np.ndarray | None = None,
+                  concurrency: int = 1, k: int = 10,
+                  search_params: dict[str, t.Any] | None = None,
+                  duration_s: float = 4.0,
+                  telemetry: RunTelemetry | bool | None = None,
+                  node_faults: "NodeFaultPlan | None" = None,
+                  consistency: str = "one",
+                  hedge_after_s: float | None = None,
+                  deadline_s: float | None = None,
+                  paper_n: int | None = None) -> RunResult:
+        """One measured closed-loop run against the whole cluster.
+
+        The cluster counterpart of :meth:`Session.run_bench`; the extra
+        knobs attach node-kill windows, the consistency level, hedged
+        cross-node requests, and the partial-result deadline (see
+        :meth:`repro.cluster.ClusterBenchRunner.run`).
+        """
+        runner = self.bench_runner(name, queries,
+                                   ground_truth=ground_truth, k=k,
+                                   paper_n=paper_n)
+        return runner.run(concurrency, search_params=search_params,
+                          duration_s=duration_s, telemetry=telemetry,
+                          node_faults=node_faults, consistency=consistency,
+                          hedge_after_s=hedge_after_s,
+                          deadline_s=deadline_s)
+
+    def bench_runner(self, name: str, queries: np.ndarray, *,
+                     ground_truth: np.ndarray | None = None, k: int = 10,
+                     paper_n: int | None = None) -> "ClusterBenchRunner":
+        """A reusable cluster runner (per-shard plans are cached)."""
+        from repro.cluster import ClusterBenchRunner
+        return ClusterBenchRunner(self.cluster, name, queries,
+                                  ground_truth=ground_truth, k=k,
+                                  paper_n=paper_n)
+
+    # -- serving ----------------------------------------------------------
+
+    def serve(self, name: str, queries: np.ndarray,
+              config: "ServeConfig", *,
+              ground_truth: np.ndarray | None = None, k: int = 10,
+              telemetry: RunTelemetry | bool | None = None,
+              paper_n: int | None = None) -> "ServeResult":
+        """One serving run with the coordinator behind the admission
+        queue: arrivals, batching, and shedding come from
+        :mod:`repro.serve` unchanged, each dispatched query fans out
+        across the shards.  See :meth:`Session.serve`.
         """
         from repro.serve import Server
         runner = self.bench_runner(name, queries,

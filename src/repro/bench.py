@@ -40,8 +40,17 @@ from repro.simkernel import Environment
 
 #: Version of the BENCH_*.json document layout.  Bump when fields are
 #: added, removed, or change meaning; docs/BENCHMARKS.md describes each
-#: version.
-BENCH_SCHEMA_VERSION = 1
+#: version.  Version 2 adds the ``cluster`` section (coordinator QPS vs
+#: shard count and the scatter-gather merge overhead).
+BENCH_SCHEMA_VERSION = 2
+
+#: Document versions :func:`validate_bench` accepts.  Committed v1
+#: documents (BENCH_6.json and earlier) stay valid forever; only new
+#: documents carry the v2 ``cluster`` section.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+
+#: Shard counts of the cluster scaling benchmark.
+CLUSTER_FANOUTS = (1, 2, 4)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -146,6 +155,48 @@ def _bench_sim(config: BenchConfig) -> dict[str, t.Any]:
             "events_per_s": env.events_processed / elapsed}
 
 
+def _bench_cluster(config: BenchConfig, seed: int) -> list[dict[str, t.Any]]:
+    """Coordinator throughput and merge overhead vs shard count.
+
+    One flat-index cluster per fan-out over the same clustered data
+    (the corpus is re-sharded, not grown, so this is the aggregate
+    scaling view): reports the *simulated* coordinator QPS, the
+    wall-clock cost of replaying that run, and the scatter-gather
+    merge overhead measured from the per-query ``merge`` stage.
+    """
+    from repro.cluster import Cluster, ClusterBenchRunner, ClusterTopology
+    from repro.engines.engine import IndexSpec
+    from repro.obs import RunTelemetry
+
+    X, queries = _make_data(config, seed + 5)
+    rows = []
+    for n_shards in CLUSTER_FANOUTS:
+        cluster = Cluster(ClusterTopology(n_shards=n_shards, seed=seed),
+                          "milvus", seed=seed)
+        cluster.create("bench", config.dim,
+                       IndexSpec.of("flat", config.metric))
+        cluster.insert("bench", X)
+        cluster.flush("bench")
+        runner = ClusterBenchRunner(cluster, "bench", queries,
+                                    k=config.k)
+        telemetry = RunTelemetry()
+        start = time.perf_counter()
+        result = runner.run(8, duration_s=0.2, telemetry=telemetry)
+        wall_s = max(time.perf_counter() - start, 1e-9)
+        merge_s = sum(span.stages.get("merge", 0.0)
+                      for span in telemetry.spans)
+        service_s = sum(span.latency_s for span in telemetry.spans)
+        rows.append({
+            "n_shards": n_shards,
+            "coordinator_qps": result.qps,
+            "p99_latency_s": result.p99_latency_s,
+            "merge_overhead_fraction": merge_s / max(service_s, 1e-12),
+            "wall_s": wall_s,
+            "completed": result.completed,
+        })
+    return rows
+
+
 def run_bench(quick: bool = False, seed: int = 0) -> dict[str, t.Any]:
     """Run the whole suite; returns the schema-versioned document."""
     config = BenchConfig.quick() if quick else BenchConfig.full()
@@ -167,25 +218,36 @@ def run_bench(quick: bool = False, seed: int = 0) -> dict[str, t.Any]:
            "seed": seed,
            "config": config.as_dict(),
            "results": results,
-           "sim": _bench_sim(config)}
+           "sim": _bench_sim(config),
+           "cluster": _bench_cluster(config, seed)}
     validate_bench(doc)
     return doc
 
 
 _RESULT_FIELDS = ("build_s", "single_qps", "batch_qps", "batch_speedup")
 _SIM_FIELDS = ("events", "elapsed_s", "events_per_s")
+_CLUSTER_FIELDS = ("n_shards", "coordinator_qps",
+                   "merge_overhead_fraction", "wall_s")
 
 
 def validate_bench(doc: dict[str, t.Any]) -> None:
     """Raise :class:`~repro.errors.ReproError` unless *doc* conforms
-    to the version-1 BENCH schema (see ``docs/BENCHMARKS.md``)."""
+    to a supported BENCH schema version (see ``docs/BENCHMARKS.md``).
+
+    Version 1 documents have no ``cluster`` section; version 2
+    documents must carry one.  Everything else is common.
+    """
     if not isinstance(doc, dict):
         raise ReproError(f"bench document must be an object: {type(doc)}")
-    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+    version = doc.get("schema_version")
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ReproError(
-            f"unsupported bench schema_version {doc.get('schema_version')!r}"
-            f" (expected {BENCH_SCHEMA_VERSION})")
-    for key in ("quick", "seed", "config", "results", "sim"):
+            f"unsupported bench schema_version {version!r}"
+            f" (supported: {SUPPORTED_SCHEMA_VERSIONS})")
+    required = ("quick", "seed", "config", "results", "sim")
+    if version >= 2:
+        required += ("cluster",)
+    for key in required:
         if key not in doc:
             raise ReproError(f"bench document missing {key!r}")
     if not isinstance(doc["results"], list) or not doc["results"]:
@@ -209,6 +271,32 @@ def validate_bench(doc: dict[str, t.Any]) -> None:
             raise ReproError(
                 f"bench sim: {key} must be a positive number, "
                 f"got {sim[key]!r}")
+    if version >= 2:
+        rows = doc["cluster"]
+        if not isinstance(rows, list) or not rows:
+            raise ReproError("bench cluster must be a non-empty list")
+        for row in rows:
+            for key in _CLUSTER_FIELDS:
+                if key not in row:
+                    raise ReproError(
+                        f"bench cluster row missing {key!r}")
+            if not isinstance(row["n_shards"], int) or row["n_shards"] < 1:
+                raise ReproError(
+                    f"bench cluster: n_shards must be a positive int, "
+                    f"got {row['n_shards']!r}")
+            for key in ("coordinator_qps", "wall_s"):
+                value = row[key]
+                if not isinstance(value, (int, float)) or not value > 0:
+                    raise ReproError(
+                        f"bench cluster n_shards={row['n_shards']}: {key} "
+                        f"must be a positive number, got {value!r}")
+            fraction = row["merge_overhead_fraction"]
+            if (not isinstance(fraction, (int, float))
+                    or not 0.0 <= fraction < 1.0):
+                raise ReproError(
+                    f"bench cluster n_shards={row['n_shards']}: "
+                    f"merge_overhead_fraction must be in [0, 1), "
+                    f"got {fraction!r}")
 
 
 def write_bench(doc: dict[str, t.Any], path: str | Path) -> None:
@@ -243,4 +331,10 @@ def format_bench(doc: dict[str, t.Any]) -> str:
     lines.append(f"sim kernel: {sim['events']} events in "
                  f"{sim['elapsed_s']:.3f}s "
                  f"({sim['events_per_s']:,.0f} events/s)")
+    for row in doc.get("cluster", ()):
+        lines.append(
+            f"cluster N={row['n_shards']}: "
+            f"{row['coordinator_qps']:,.0f} coordinator QPS, "
+            f"merge overhead {row['merge_overhead_fraction']:.2%}, "
+            f"replayed in {row['wall_s']:.2f}s")
     return "\n".join(lines)

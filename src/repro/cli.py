@@ -8,6 +8,7 @@ Examples::
     repro figure 2                 # any of 2..15
     repro prefetch -d cohere-1m    # cache-policy + prefetch study
     repro serve -d cohere-1m       # open-loop serving study
+    repro cluster -d cohere-1m     # distributed cluster study
     repro faults -d cohere-1m      # fault-injection + resilience study
     repro recover --quick          # crash/corruption recovery matrix
     repro study -o report.txt      # everything, with observation checks
@@ -149,6 +150,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         duration_s=duration, seed=args.seed,
         progress=lambda m: print(f"[serve] {m}", file=sys.stderr))
     print(report.render_serving_study(data))
+    return 0 if all(data["verdicts"].values()) else 1
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster.study import cluster_study
+    duration = min(args.duration, 0.25) if args.quick else args.duration
+    data = cluster_study(
+        args.dataset, duration_s=duration, concurrency=args.threads,
+        seed=args.seed, quick=args.quick,
+        progress=lambda m: print(f"[cluster] {m}", file=sys.stderr))
+    print(report.render_cluster_study(data))
     return 0 if all(data["verdicts"].values()) else 1
 
 
@@ -296,6 +308,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="arrival-timeline seed (default 0)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "cluster",
+        help="distributed cluster study: sharded QPS scaling, fan-out "
+             "tails, failover (beyond the paper)")
+    p.add_argument("-d", "--dataset", default="cohere-1m",
+                   choices=DATASET_NAMES)
+    p.add_argument("--quick", action="store_true",
+                   help="shorter windows, smaller fan-out axis (CI smoke)")
+    p.add_argument("--duration", type=float, default=0.4,
+                   help="simulated seconds per run (default 0.4)")
+    p.add_argument("--threads", type=int, default=16,
+                   help="closed-loop clients per run (default 16)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="placement/jitter/kill seed (default 0)")
+    p.set_defaults(fn=cmd_cluster)
 
     p = sub.add_parser(
         "faults",

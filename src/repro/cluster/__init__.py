@@ -1,0 +1,43 @@
+"""Distributed cluster layer: sharding, replication, scatter-gather.
+
+The production-scale seam above the paper's single-node engines: a
+simulated N-node cluster where every node runs a full vector engine and
+its own simulated SSD.  Four pieces:
+
+* :mod:`repro.cluster.topology` — :class:`ClusterTopology`: shards,
+  R-way replica groups, spares, deterministic hash/range row placement,
+  and the interconnect spec;
+* :mod:`repro.cluster.merge` — :func:`merge_topk`: the deterministic
+  (distance, id)-ascending scatter-gather merge, bit-identical to the
+  single-node order;
+* :mod:`repro.cluster.cluster` — :class:`Cluster`: the functional data
+  plane (create/insert/flush/delete/search/save, replica migration);
+* :mod:`repro.cluster.runner` — :class:`ClusterBenchRunner`: the replay
+  plane — per-node devices and cores on one shared simulation clock,
+  cross-node hops, quorum reads, hedged requests, partial-result
+  deadlines, node-kill failover, migration while serving;
+* :mod:`repro.cluster.study` — the ``repro cluster`` study: QPS scaling
+  vs N and the fan-out tail-amplification curve.
+
+Open one through :func:`repro.api.open_cluster`; the architecture is
+documented in ``docs/CLUSTER.md`` and ``docs/ARCHITECTURE.md``.
+"""
+
+from repro.cluster.cluster import Cluster, ClusterNode, ShardedCollection
+from repro.cluster.merge import merge_topk
+from repro.cluster.runner import (ClusterBenchRunner, ClusterPlan,
+                                  ClusterReplayer, ClusterReplaySession)
+from repro.cluster.topology import SHARDING_KINDS, ClusterTopology
+
+__all__ = [
+    "Cluster",
+    "ClusterBenchRunner",
+    "ClusterNode",
+    "ClusterPlan",
+    "ClusterReplaySession",
+    "ClusterReplayer",
+    "ClusterTopology",
+    "SHARDING_KINDS",
+    "ShardedCollection",
+    "merge_topk",
+]

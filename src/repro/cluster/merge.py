@@ -1,0 +1,56 @@
+"""Deterministic scatter-gather top-k merge.
+
+The one place cross-shard results meet.  The merge must be *exactly* the
+order a single-node :class:`~repro.engines.engine.Collection` would have
+produced over the union of the shards, or sharding silently changes
+answers: single-node search sorts by distance with a stable sort over
+segments laid out in ascending row-id order, and every per-index top-k
+breaks distance ties by ascending id — so the single-node order is
+(distance, id) lexicographic.  :func:`merge_topk` sorts candidates by
+that same key, which makes the coordinator's answer invariant to shard
+count, shard assignment, and the arrival order of shard responses, and
+bit-identical to the single-node path when N=1 (the distances pass
+through untouched).
+
+Example::
+
+    >>> import numpy as np
+    >>> ids, dists = merge_topk(
+    ...     [np.array([4, 2]), np.array([3, 9])],
+    ...     [np.array([0.5, 0.1], dtype=np.float32),
+    ...      np.array([0.1, 0.7], dtype=np.float32)], k=3)
+    >>> ids.tolist()                  # 0.1 tie broken by ascending id
+    [2, 3, 4]
+    >>> dists.tolist()
+    [0.10000000149011612, 0.10000000149011612, 0.5]
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+
+def merge_topk(ids_parts: t.Sequence[np.ndarray],
+               dists_parts: t.Sequence[np.ndarray],
+               k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard top-k candidates into the global top-k.
+
+    Candidates are ranked by ``(distance, id)`` ascending — the exact
+    single-node order — and truncated to *k*.  Inputs may be ragged
+    (a shard can return fewer than k rows, or none); global ids are
+    assumed disjoint across shards, which sharding guarantees.
+    """
+    if not ids_parts:
+        return (np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float32))
+    ids = np.concatenate([np.asarray(p, dtype=np.int64)
+                          for p in ids_parts])
+    dists = np.concatenate([np.asarray(p, dtype=np.float32)
+                            for p in dists_parts])
+    if ids.shape != dists.shape:
+        raise ValueError(
+            f"ids/dists shape mismatch: {ids.shape} vs {dists.shape}")
+    order = np.lexsort((ids, dists))[:k]
+    return ids[order], dists[order]

@@ -1,0 +1,699 @@
+"""The cluster replay plane: scatter-gather timing on one shared clock.
+
+The functional data plane (:mod:`repro.cluster.cluster`) decides *what*
+every query answers; this module decides *when*.  Every data node gets
+its own simulated NVMe device and core pool, all advanced by one shared
+:class:`~repro.simkernel.Environment`, and a coordinator process fans
+each query out across the shards and merges the replies:
+
+* per-shard sub-queries replay the shard runner's compiled plans through
+  the node's own :class:`~repro.workload.runner.QueryReplayer` — the
+  exact single-node replay path, unchanged;
+* every coordinator<->node message pays the topology's interconnect
+  latency (:class:`~repro.simkernel.Network`), charged to the span's
+  ``network`` stage;
+* consistency levels shape how many replicas per shard must answer
+  (``one`` / ``quorum`` / ``all`` — replicas are identical, so levels
+  change timing, never results);
+* hedged requests race a slow replica against a backup copy on the
+  kernel's :class:`~repro.simkernel.events.Race` primitive;
+* :class:`~repro.faults.NodeFaultPlan` kill windows abandon in-flight
+  sub-queries, driving failover to the next live replica;
+* a partial-result deadline lets the coordinator answer from the shards
+  that made it, reporting completion-weighted recall for the rest;
+* :meth:`ClusterReplaySession.migrate` streams a shard replica to a
+  spare node through both devices while queries keep flowing.
+
+:class:`ClusterBenchRunner` exposes the same surface as
+:class:`~repro.workload.runner.BenchRunner` — ``run`` for the closed
+loop and ``open_replay`` for callers that drive their own schedule —
+so :class:`repro.serve.Server` serves a cluster without modification.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from repro.cluster.merge import merge_topk
+from repro.cluster.topology import ClusterTopology
+from repro.data.groundtruth import recall_at_k
+from repro.engines.engine import CONSISTENCY_LEVELS, VectorEngine
+from repro.engines.profiles import PAPER_CPU_CORES
+from repro.errors import (ClusterError, DegradedResult, FaultError,
+                          OutOfMemoryError, WorkloadError)
+from repro.faults.nodes import NodeFaultPlan
+from repro.obs import RunTelemetry
+from repro.simkernel import Environment, Network, Resource
+from repro.storage.device import SimSSD
+from repro.storage.spec import DeviceSpec, samsung_990pro_4tb
+from repro.storage.tracer import BlockTracer
+from repro.workload.metrics import RunResult, percentile
+from repro.workload.runner import BenchRunner, CompiledQuery, QueryReplayer
+
+if t.TYPE_CHECKING:
+    from repro.cluster.cluster import Cluster, ShardedCollection
+
+#: Per-shard segment ids are namespaced at ``shard * base + segment`` in
+#: query spans so two shards' segment timings never collide (documented
+#: in :mod:`repro.obs.span`).
+_SHARD_SEGMENT_BASE = 1024
+
+#: Coordinator CPU per gathered candidate: one (distance, id) key
+#: compare plus the copy into the merge heap — a few ns on the paper's
+#: hardware; the merge is measurable but never dominant, which the
+#: scatter-gather overhead metric in ``BENCH_7.json`` quantifies.
+_MERGE_CPU_PER_CANDIDATE_S = 25e-9
+
+
+@dataclasses.dataclass
+class ClusterPlan:
+    """One query's cluster-wide execution plan.
+
+    Carries a compiled single-node plan per shard (replayable on any
+    replica of that shard — replicas are bit-identical engines) plus the
+    functional per-shard candidates, so the coordinator can merge any
+    *subset* of shards when a partial-result deadline cuts the gather
+    short.
+    """
+
+    #: Position of this query in the runner's query set.
+    index: int
+    #: Compiled plan per shard, indexed by shard id.
+    shard_plans: list[CompiledQuery]
+    #: Functional per-shard candidates: (global ids, dists) per shard.
+    shard_found: list[tuple[np.ndarray, np.ndarray]]
+    #: The full-fan-out merged ids (what an unconstrained gather
+    #: answers; bit-identical to the single-node answer).
+    merged_ids: np.ndarray
+
+    def partial_ids(self, shards: t.Sequence[int], k: int) -> np.ndarray:
+        """Merged ids over only the *shards* that completed."""
+        return merge_topk([self.shard_found[s][0] for s in shards],
+                          [self.shard_found[s][1] for s in shards], k)[0]
+
+
+class _ShardSpanView:
+    """A per-shard window onto one query's span.
+
+    The node-level :class:`~repro.workload.runner.QueryReplayer` writes
+    stage and segment timings through this view; query-level stages pass
+    straight through, segment ids are namespaced per shard.
+    """
+
+    __slots__ = ("_span", "_base")
+
+    def __init__(self, span, shard: int) -> None:
+        self._span = span
+        self._base = shard * _SHARD_SEGMENT_BASE
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        self._span.add_stage(stage, seconds)
+
+    def segment(self, seg: int):
+        return self._span.segment(self._base + seg)
+
+
+@dataclasses.dataclass
+class _QueryOutcome:
+    """What one coordinator query actually gathered."""
+
+    index: int
+    completed_shards: tuple[int, ...]
+    partial: bool
+
+
+class ClusterReplayer:
+    """The coordinator: fans queries out over the cluster and merges.
+
+    The cluster counterpart of :class:`~repro.workload.runner.
+    QueryReplayer`, with the same :meth:`query_proc` signature so the
+    closed loop and the serving layer dispatch onto either one
+    unchanged.  One instance drives one
+    :class:`ClusterReplaySession`'s timeline.
+    """
+
+    def __init__(self, env: Environment, topology: ClusterTopology,
+                 routing: dict[int, list[int]], network: Network,
+                 node_replayers: list[QueryReplayer], cores: Resource,
+                 profile, node_faults: NodeFaultPlan,
+                 consistency: str = "one",
+                 hedge_after_s: float | None = None,
+                 deadline_s: float | None = None,
+                 telemetry: RunTelemetry | None = None) -> None:
+        if consistency not in CONSISTENCY_LEVELS:
+            raise ClusterError(
+                f"unknown consistency {consistency!r}; expected one of "
+                f"{CONSISTENCY_LEVELS}")
+        if hedge_after_s is not None and hedge_after_s <= 0:
+            raise ClusterError(f"hedge_after_s must be > 0: {hedge_after_s}")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ClusterError(f"deadline_s must be > 0: {deadline_s}")
+        self.env = env
+        self.topology = topology
+        self.routing = routing
+        self.network = network
+        self.node_replayers = node_replayers
+        self.cores = cores
+        self.profile = profile
+        self.node_faults = node_faults
+        self.consistency = consistency
+        self.hedge_after_s = hedge_after_s
+        self.deadline_s = deadline_s
+        self.telemetry = telemetry
+        #: Scatter-gather event counts (fanout, hedges, failovers, ...).
+        self.ccounts: collections.Counter[str] = collections.Counter()
+        #: Per-completed-query gather outcomes, in completion order.
+        self.outcomes: list[_QueryOutcome] = []
+        self._issue = 0   # coordinator issue ordinal (replica rotation)
+
+    def _note(self, event: str, amount: int = 1) -> None:
+        self.ccounts[event] += amount
+        if self.telemetry is not None:
+            self.telemetry.on_cluster(event, amount)
+
+    def _need(self, shard: int) -> int:
+        """Replica answers required for this consistency level."""
+        replicas = len(self.routing[shard])
+        if self.consistency == "one":
+            return 1
+        if self.consistency == "quorum":
+            return min(replicas, self.topology.quorum())
+        return replicas
+
+    # -- per-node sub-query ------------------------------------------------
+
+    def _node_query(self, node: int, splan: CompiledQuery, view,
+                    fixed_cpu: float, outcome: list):
+        """One request/reply round trip to one replica node.
+
+        Sets ``outcome[0]`` when the reply makes it back; a node that is
+        dead on arrival — or dies before the sub-query finishes — never
+        answers, and the process just ends (the RPC is lost, exactly
+        like a crashed server).
+        """
+        env, coord = self.env, self.topology.coordinator
+        hop = env.now
+        yield self.network.transfer(coord, node)
+        if view is not None:
+            view.add_stage("network", env.now - hop)
+        if self.node_faults.dead(node, env.now):
+            return
+        sub = env.process(self.node_replayers[node].query_proc(
+            splan, view, fixed_cpu))
+        death_at = self.node_faults.next_death_after(node, env.now)
+        if death_at is None:
+            yield sub
+        else:
+            winner = yield env.race([sub, env.timeout(death_at - env.now)])
+            if winner == 1:
+                return
+        hop = env.now
+        yield self.network.transfer(node, coord)
+        if view is not None:
+            view.add_stage("network", env.now - hop)
+        outcome[0] = True
+
+    def _slot_proc(self, shard: int, splan: CompiledQuery, view,
+                   fixed_cpu: float, claim, successes):
+        """Get one replica answer for *shard*, failing over on death.
+
+        *claim* hands out the next live, unclaimed replica in rotation
+        order (shared across this query's slots so quorum reads hit
+        distinct replicas).  Each attempt may hedge a backup copy after
+        ``hedge_after_s``; a killed node triggers failover to the next
+        replica.  Ends without recording a success when every replica
+        is dead or already claimed.
+        """
+        env = self.env
+        while True:
+            node = claim()
+            if node is None:
+                return
+            outcome = [False]
+            nq = env.process(self._node_query(node, splan, view,
+                                              fixed_cpu, outcome))
+            hedge: tuple | None = None
+            if self.hedge_after_s is not None:
+                winner = yield env.race(
+                    [nq, env.timeout(self.hedge_after_s)])
+                if winner == 1:
+                    backup = claim()
+                    if backup is not None:
+                        self._note("hedges")
+                        hout = [False]
+                        hedge = (env.process(self._node_query(
+                            backup, splan, view, fixed_cpu, hout)), hout)
+            if hedge is None:
+                yield nq
+                if outcome[0]:
+                    successes[shard] += 1
+                    return
+            else:
+                hq, hout = hedge
+                pending = [nq, hq]
+                while pending:
+                    if len(pending) > 1:
+                        yield env.race(pending)
+                    else:
+                        yield pending[0]
+                    if outcome[0]:
+                        successes[shard] += 1
+                        return
+                    if hout[0]:
+                        self._note("hedge_wins")
+                        successes[shard] += 1
+                        return
+                    # A copy resolved without answering: its node died.
+                    pending = [p for p in pending if not p.processed]
+            self._note("failovers")
+
+    def _shard_proc(self, shard: int, splan: CompiledQuery, view,
+                    fixed_cpu: float, ordinal: int, successes):
+        """Gather this shard's answers at the session's consistency."""
+        env = self.env
+        replicas = self.routing[shard]
+        n = len(replicas)
+        # Per-query replica rotation spreads load across the group.
+        rotation = [replicas[(ordinal + i) % n] for i in range(n)]
+        taken: list[int] = []
+
+        def claim() -> int | None:
+            for node in rotation:
+                if node not in taken and not self.node_faults.dead(
+                        node, env.now):
+                    taken.append(node)
+                    return node
+            return None
+
+        need = self._need(shard)
+        if need > 1:
+            self._note("quorum_waits")
+        yield env.all_of([
+            env.process(self._slot_proc(shard, splan, view, fixed_cpu,
+                                        claim, successes))
+            for _ in range(need)])
+
+    # -- the coordinator query ---------------------------------------------
+
+    def query_proc(self, plan: ClusterPlan, span=None,
+                   fixed_cpu: float = 0.0):
+        """Replay one query across the cluster; returns True on failure.
+
+        Scatter to every shard, gather under the consistency level and
+        the optional deadline, then merge on the coordinator's cores.
+        A query fails only when *no* shard completed; a partial gather
+        (deadline hit with some shards in) completes degraded and is
+        recorded in :attr:`outcomes`.
+        """
+        env, profile = self.env, self.profile
+        ordinal = self._issue
+        self._issue += 1
+        if profile.rpc_s:
+            yield env.timeout(profile.rpc_s / 2)
+            if span is not None:
+                span.add_stage("rpc", profile.rpc_s / 2)
+        n_shards = self.topology.n_shards
+        successes: collections.Counter[int] = collections.Counter()
+        procs = []
+        for shard in range(n_shards):
+            view = _ShardSpanView(span, shard) if span is not None else None
+            procs.append(env.process(self._shard_proc(
+                shard, plan.shard_plans[shard], view, fixed_cpu, ordinal,
+                successes)))
+        self._note("fanout", n_shards)
+        gather = env.all_of(procs)
+        if self.deadline_s is None:
+            yield gather
+        else:
+            winner = yield env.race([gather, env.timeout(self.deadline_s)])
+            if winner == 1:
+                self._note("partial_results")
+        completed = tuple(s for s in range(n_shards)
+                          if successes[s] >= self._need(s))
+        missed = n_shards - len(completed)
+        if missed:
+            self._note("shards_missed", missed)
+        if not completed:
+            self.outcomes.append(_QueryOutcome(plan.index, (), True))
+            return True
+        merge_s = _MERGE_CPU_PER_CANDIDATE_S * sum(
+            len(plan.shard_found[s][0]) for s in completed)
+        if merge_s > 0:
+            yield from self.cores.use(merge_s)
+            if span is not None:
+                span.add_stage("merge", merge_s)
+        if profile.rpc_s:
+            yield env.timeout(profile.rpc_s / 2)
+            if span is not None:
+                span.add_stage("rpc", profile.rpc_s / 2)
+        self.outcomes.append(_QueryOutcome(plan.index, completed,
+                                           missed > 0))
+        return False
+
+
+@dataclasses.dataclass
+class ClusterReplaySession:
+    """One fresh simulated cluster with compiled plans bound to it.
+
+    Built by :meth:`ClusterBenchRunner.open_replay`: per-node devices
+    and core pools, the interconnect, a :class:`QueryReplayer` per data
+    node, and the :class:`ClusterReplayer` coordinator over them all —
+    the cluster counterpart of :class:`~repro.workload.runner.
+    ReplaySession`, with the same driving surface (``env``,
+    ``replayer``, ``plan_for``, ``recall``).
+    """
+
+    env: Environment
+    network: Network
+    devices: list[SimSSD]
+    node_cores: list[Resource]
+    pools: list[Resource | None]
+    cores: Resource                       # the coordinator's own pool
+    node_replayers: list[QueryReplayer]
+    replayer: ClusterReplayer
+    cold: list[ClusterPlan]
+    warm: list[ClusterPlan]
+    recall: float | None
+    telemetry: RunTelemetry | None
+    routing: dict[int, list[int]]
+    node_faults: NodeFaultPlan
+    cluster: "Cluster"
+    device_spec: DeviceSpec
+    collection_name: str
+    _cold_replayed: set[int] = dataclasses.field(default_factory=set)
+
+    def plan_for(self, index: int) -> tuple[ClusterPlan, bool]:
+        """The plan to replay for query *index*, tracking warm-up."""
+        cold = index not in self._cold_replayed
+        if cold:
+            self._cold_replayed.add(index)
+        return (self.cold[index] if cold else self.warm[index]), cold
+
+    def migrate(self, shard: int, replica: int, to_node: int):
+        """Process generator: move one shard replica while serving.
+
+        Streams the shard's stored bytes out of the source replica's
+        device, across the interconnect, and onto *to_node*'s device —
+        contending with in-flight queries on both — then cuts routing
+        over (new queries claim the new replica) and rebuilds the
+        functional replica via :meth:`repro.cluster.cluster.Cluster.
+        move_replica`.  Spawn it with ``session.env.process(...)``.
+        """
+        from_node = self.routing[shard][replica]
+        total = self.cluster.shard_bytes(self.collection_name, shard)
+        cap = self.device_spec.max_request_bytes
+        offset = 0
+        while offset < total:
+            size = min(cap, total - offset)
+            yield self.devices[from_node].submit([(offset, size)], "R")
+            yield self.network.transfer(from_node, to_node)
+            yield self.devices[to_node].submit([(offset, size)], "W")
+            offset += size
+        self.cluster.move_replica(shard, replica, to_node)
+        self.routing[shard][replica] = to_node
+        self.replayer._note("migrations")
+
+
+class ClusterBenchRunner:
+    """Runs one cluster collection's query set on simulated hardware.
+
+    Builds one single-node :class:`~repro.workload.runner.BenchRunner`
+    per shard (over the shard's primary replica engine) to compile the
+    per-shard plans, merges their functional results into coordinator
+    answers, and replays everything on one shared clock.  Exposes the
+    same driving surface as ``BenchRunner`` — ``engine``,
+    ``collection``, ``queries``, ``run``, ``open_replay`` — so the
+    serving layer and the study harnesses treat both uniformly.
+    """
+
+    def __init__(self, cluster: "Cluster", collection_name: str,
+                 queries: np.ndarray,
+                 ground_truth: np.ndarray | None = None,
+                 device_spec: DeviceSpec | None = None,
+                 cores: int = PAPER_CPU_CORES, k: int = 10,
+                 paper_n: int | None = None) -> None:
+        self.cluster = cluster
+        self.topology = cluster.topology
+        self.collection: "ShardedCollection" = cluster.collection_meta(
+            collection_name)
+        self.queries = np.asarray(queries, dtype=np.float32)
+        self.ground_truth = ground_truth
+        self.device_spec = device_spec or samsung_990pro_4tb()
+        self.cores = cores
+        self.k = k
+        #: The profile carrier (all nodes share one engine profile).
+        self.engine: VectorEngine = cluster.engine_for(cluster.primary(0))
+        self.shard_runners = [
+            BenchRunner(cluster.engine_for(cluster.primary(s)),
+                        collection_name, queries, ground_truth=None,
+                        device_spec=self.device_spec, cores=cores, k=k,
+                        paper_n=paper_n)
+            for s in range(self.topology.n_shards)]
+        self._plan_cache: dict[tuple, tuple[list[ClusterPlan],
+                                            list[ClusterPlan],
+                                            float | None]] = {}
+
+    # -- functional phase --------------------------------------------------
+
+    def _compile(self, params: dict[str, t.Any],
+                 ) -> tuple[list[ClusterPlan], list[ClusterPlan],
+                            float | None]:
+        key = tuple(sorted(params.items()))
+        if key in self._plan_cache:
+            return self._plan_cache[key]
+        per_shard = []
+        for shard, runner in enumerate(self.shard_runners):
+            cold_s, warm_s, _recall = runner._compile(dict(params))
+            translated = [
+                (self.collection.to_global(shard, ids), dists)
+                for ids, dists in runner.compiled_results(dict(params))]
+            per_shard.append((cold_s, warm_s, translated))
+        cold_plans, warm_plans = [], []
+        for q in range(len(self.queries)):
+            shard_found = [per_shard[s][2][q]
+                           for s in range(self.topology.n_shards)]
+            merged_ids, _ = merge_topk([f[0] for f in shard_found],
+                                       [f[1] for f in shard_found], self.k)
+            cold_plans.append(ClusterPlan(
+                q, [per_shard[s][0][q]
+                    for s in range(self.topology.n_shards)],
+                shard_found, merged_ids))
+            warm_plans.append(ClusterPlan(
+                q, [per_shard[s][1][q]
+                    for s in range(self.topology.n_shards)],
+                shard_found, merged_ids))
+        recall = None
+        if self.ground_truth is not None:
+            recall = recall_at_k(
+                self.ground_truth[:, :self.k],
+                [plan.merged_ids for plan in cold_plans], self.k)
+        self._plan_cache[key] = (cold_plans, warm_plans, recall)
+        return self._plan_cache[key]
+
+    # -- timing phase ------------------------------------------------------
+
+    def open_replay(self, search_params: dict | None = None, *,
+                    telemetry: RunTelemetry | None = None,
+                    node_faults: NodeFaultPlan | None = None,
+                    consistency: str = "one",
+                    hedge_after_s: float | None = None,
+                    deadline_s: float | None = None,
+                    ) -> ClusterReplaySession:
+        """A fresh simulated cluster ready to replay the query set."""
+        params = dict(search_params or {})
+        cold, warm, recall = self._compile(params)
+        topo = self.topology
+        env = Environment()
+        network = Network(env, topo.network, seed=self.cluster.seed)
+        profile = self.engine.profile
+        kind = self.collection.index_spec.kind
+        pool_size = getattr(profile, "diskann_pool", 0)
+        devices, node_cores, pools, node_replayers = [], [], [], []
+        for node in range(topo.total_nodes):
+            device = SimSSD(env, self.device_spec,
+                            BlockTracer(enabled=False),
+                            telemetry=telemetry)
+            cores = Resource(env, self.cores, name=f"node{node}_cores",
+                             telemetry=telemetry)
+            pool = (Resource(env, pool_size, name=f"node{node}_pool",
+                             telemetry=telemetry)
+                    if pool_size and kind == "diskann" else None)
+            devices.append(device)
+            node_cores.append(cores)
+            pools.append(pool)
+            node_replayers.append(QueryReplayer(
+                env, device, cores, pool, profile, telemetry=telemetry))
+        coordinator_cores = Resource(env, self.cores,
+                                     name="coordinator_cores",
+                                     telemetry=telemetry)
+        routing = {s: list(nodes)
+                   for s, nodes in self.cluster.routing.items()}
+        faults = node_faults if node_faults is not None else NodeFaultPlan()
+        replayer = ClusterReplayer(
+            env, topo, routing, network, node_replayers,
+            coordinator_cores, profile, faults, consistency=consistency,
+            hedge_after_s=hedge_after_s, deadline_s=deadline_s,
+            telemetry=telemetry)
+        return ClusterReplaySession(
+            env=env, network=network, devices=devices,
+            node_cores=node_cores, pools=pools, cores=coordinator_cores,
+            node_replayers=node_replayers, replayer=replayer, cold=cold,
+            warm=warm, recall=recall, telemetry=telemetry,
+            routing=routing, node_faults=faults, cluster=self.cluster,
+            device_spec=self.device_spec,
+            collection_name=self.collection.name)
+
+    def run(self, concurrency: int, search_params: dict | None = None,
+            duration_s: float = 4.0, max_queries: int = 25_000,
+            phase: int = 0,
+            telemetry: RunTelemetry | bool | None = None,
+            node_faults: NodeFaultPlan | None = None,
+            consistency: str = "one",
+            hedge_after_s: float | None = None,
+            deadline_s: float | None = None) -> RunResult:
+        """One measured closed-loop run against the whole cluster.
+
+        Mirrors :meth:`repro.workload.runner.BenchRunner.run`: N
+        clients with one in-flight query each, per-index cold/warm
+        gating, the same fixed-CPU amortization.  The cluster knobs —
+        ``node_faults``, ``consistency``, ``hedge_after_s``,
+        ``deadline_s`` — shape only the replay timeline; with all of
+        them off, every query gathers every shard.  When a deadline
+        leaves queries partially gathered, the reported recall is
+        completion-weighted (partial queries contribute the recall of
+        their completed-shard merge) and ``result.faults["degraded"]``
+        carries the :class:`~repro.errors.DegradedResult`.
+        """
+        if concurrency < 1:
+            raise WorkloadError(f"concurrency must be >= 1: {concurrency}")
+        telem = RunTelemetry() if telemetry is True else (telemetry or None)
+        params = dict(search_params or {})
+        profile = self.engine.profile
+        try:
+            self.engine.check_concurrency_memory(concurrency)
+        except OutOfMemoryError:
+            return RunResult(
+                engine=profile.name,
+                index_kind=self.collection.index_spec.kind,
+                dataset=self.collection.name, concurrency=concurrency,
+                completed=0, elapsed_s=0.0, qps=0.0,
+                mean_latency_s=float("nan"), p99_latency_s=float("nan"),
+                cpu_utilization=0.0, device_utilization=0.0,
+                read_bytes=0, write_bytes=0, search_params=params,
+                error="out-of-memory")
+        session = self.open_replay(
+            params, telemetry=telem, node_faults=node_faults,
+            consistency=consistency, hedge_after_s=hedge_after_s,
+            deadline_s=deadline_s)
+        env, replayer = session.env, session.replayer
+        fixed_cpu = (profile.fixed_query_cpu_s
+                     / min(concurrency, profile.batch_cap))
+        n_queries = len(self.queries)
+        state = {"issued": 0, "failures": 0, "last": 0.0}
+        latencies: list[float] = []
+
+        def client(client_id: int):
+            while (env.now < duration_s
+                   and state["issued"] < max_queries):
+                ordinal = state["issued"]
+                state["issued"] += 1
+                index = (ordinal + client_id + phase) % n_queries
+                plan, cold = session.plan_for(index)
+                span = (telem.begin_query(ordinal, index, client_id,
+                                          cold, env.now)
+                        if telem is not None else None)
+                start = env.now
+                failed = yield from replayer.query_proc(plan, span,
+                                                        fixed_cpu)
+                if failed:
+                    state["failures"] += 1
+                else:
+                    latencies.append(env.now - start)
+                    state["last"] = env.now
+                if span is not None:
+                    telem.end_query(span, env.now)
+
+        for client_id in range(concurrency):
+            env.process(client(client_id))
+        env.run()
+
+        completed = len(latencies)
+        if completed == 0:
+            if state["failures"]:
+                raise FaultError(
+                    f"all {state['failures']} queries failed: every "
+                    f"shard's replicas were dead or past the deadline")
+            raise WorkloadError(
+                "run completed no queries; duration too short?")
+        elapsed = max(state["last"], 1e-9)
+        recall = session.recall
+        partials = [o for o in replayer.outcomes if o.partial
+                    and o.completed_shards]
+        if partials and self.ground_truth is not None:
+            recall = self._weighted_recall(replayer.outcomes, session.cold)
+        faults = None
+        cluster_knobs = (node_faults is not None and not node_faults.empty
+                         or consistency != "one"
+                         or hedge_after_s is not None
+                         or deadline_s is not None)
+        if cluster_knobs or state["failures"]:
+            faults = {event: replayer.ccounts.get(event, 0)
+                      for event in ("hedges", "hedge_wins", "failovers",
+                                    "quorum_waits", "partial_results",
+                                    "shards_missed")}
+            faults["failed_queries"] = state["failures"]
+            if partials:
+                faults["degraded"] = DegradedResult(
+                    queries=len(partials),
+                    total=len(replayer.outcomes),
+                    params={"deadline_s": deadline_s})
+        data_cores = session.node_cores + [session.cores]
+        return RunResult(
+            engine=profile.name,
+            index_kind=self.collection.index_spec.kind,
+            dataset=self.collection.name,
+            concurrency=concurrency,
+            completed=completed,
+            elapsed_s=elapsed,
+            qps=completed / elapsed,
+            mean_latency_s=float(np.mean(latencies)),
+            p99_latency_s=percentile(latencies, 99),
+            p50_latency_s=percentile(latencies, 50),
+            p95_latency_s=percentile(latencies, 95),
+            cpu_utilization=float(np.mean(
+                [c.utilization(elapsed) for c in data_cores])),
+            device_utilization=float(np.mean(
+                [d.utilization(elapsed) for d in session.devices])),
+            read_bytes=sum(d.bytes_read for d in session.devices),
+            write_bytes=sum(d.bytes_written for d in session.devices),
+            recall=recall,
+            search_params=params,
+            telemetry=telem,
+            faults=faults,
+        )
+
+    def _weighted_recall(self, outcomes: list[_QueryOutcome],
+                         plans: list[ClusterPlan]) -> float | None:
+        """Completion-weighted recall over a run's gather outcomes.
+
+        Fully gathered queries contribute their full-merge recall;
+        partially gathered ones the recall of the merge over only the
+        shards that made the deadline.
+        """
+        gt = self.ground_truth[:, :self.k]
+        per_query = []
+        for outcome in outcomes:
+            if not outcome.completed_shards:
+                continue
+            plan = plans[outcome.index]
+            assert plan.index == outcome.index
+            ids = (plan.merged_ids if not outcome.partial
+                   else plan.partial_ids(outcome.completed_shards, self.k))
+            truth = gt[outcome.index]
+            per_query.append(
+                len(np.intersect1d(ids, truth)) / max(len(truth), 1))
+        return float(np.mean(per_query)) if per_query else None

@@ -43,6 +43,12 @@ class StudyResults:
     #: controller on the first dataset (see
     #: :func:`repro.serve.study.serving_study`).
     serving: dict | None = None
+    #: The distributed cluster study (beyond the paper): sharded QPS
+    #: scaling, the P99-vs-fan-out tail-amplification curve, failover,
+    #: quorum/hedging/deadline reads, and migration while serving on
+    #: the first dataset (see
+    #: :func:`repro.cluster.study.cluster_study`).
+    cluster: dict | None = None
 
     @property
     def holds(self) -> dict[str, bool]:
@@ -111,6 +117,9 @@ def run_study(datasets: t.Sequence[str] = DATASET_NAMES,
     report("open-loop serving study")
     from repro.serve.study import serving_study
     serving = serving_study(datasets[0], progress=progress)
+    report("distributed cluster study")
+    from repro.cluster.study import cluster_study
+    cluster = cluster_study(datasets[0], progress=progress)
     report("checking observations")
     checks = run_observation_checks(fig2, fig3, fig5, fig6, fig7_11,
                                     fig12_15)
@@ -119,4 +128,4 @@ def run_study(datasets: t.Sequence[str] = DATASET_NAMES,
         fig5=fig5, fig6=fig6, fig7_11=fig7_11, fig12_15=fig12_15,
         checks=checks,
         key_findings=observations.key_findings(checks),
-        resilience=resilience, serving=serving)
+        resilience=resilience, serving=serving, cluster=cluster)

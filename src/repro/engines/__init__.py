@@ -8,9 +8,10 @@ systems.
 
 from repro.ann.workprofile import SearchResult
 from repro.engines.costmodel import CostModel
-from repro.engines.engine import (INDEX_KINDS, Collection, IndexSpec,
-                                  SearchRequest, SearchResponse,
-                                  VectorEngine, build_index, merge_works)
+from repro.engines.engine import (CONSISTENCY_LEVELS, INDEX_KINDS,
+                                  Collection, IndexSpec, SearchRequest,
+                                  SearchResponse, VectorEngine,
+                                  build_index, merge_works)
 from repro.engines.mmap import MmapHNSWIndex, wrap_mmap
 from repro.engines.params import (PARAM_TYPES, DiskANNParams, FlatParams,
                                   HNSWMmapParams, HNSWParams, HNSWSQParams,
@@ -25,6 +26,7 @@ from repro.engines.segments import GrowingBuffer, Segment, plan_segments
 from repro.engines.wal import WalEntry, WriteAheadLog
 
 __all__ = [
+    "CONSISTENCY_LEVELS",
     "Collection",
     "CostModel",
     "DiskANNParams",

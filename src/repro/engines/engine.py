@@ -73,6 +73,14 @@ class IndexSpec:
         return self.params.as_dict()
 
 
+#: Read consistency levels a routed :class:`SearchRequest` can ask for.
+#: Replicas are identical by construction in this reproduction, so the
+#: level never changes *results* — it changes how many replicas a
+#: cluster coordinator waits for (latency/availability), see
+#: :mod:`repro.cluster`.
+CONSISTENCY_LEVELS = ("one", "quorum", "all")
+
+
 @dataclasses.dataclass(frozen=True)
 class SearchRequest:
     """A typed search call: what to look for and how.
@@ -81,11 +89,20 @@ class SearchRequest:
     stays available; a request object is the hashable, serializable
     form used by the :mod:`repro.api` facade and batch drivers.
 
+    The routing fields (``shard``, ``consistency``, ``deadline_s``) are
+    hints for the distributed layer (:mod:`repro.cluster`); their
+    defaults route the request everywhere with single-replica reads and
+    no deadline, which is exactly the single-engine behaviour — old
+    call sites are byte-compatible.  Single-engine execution ignores
+    them.
+
     >>> request = SearchRequest.of([1.0, 0.0], k=5, ef_search=32)
     >>> request.k
     5
     >>> request.param_dict
     {'ef_search': 32}
+    >>> request.consistency
+    'one'
     """
 
     query: t.Any                   # np.ndarray (1D)
@@ -94,6 +111,13 @@ class SearchRequest:
     #: Search-time parameters (ef_search, search_list, beam_width,
     #: nprobe, prefetch_depth, cache_policy, ...), index-kind specific.
     params: tuple[tuple[str, t.Any], ...] = ()
+    #: Routing hint: search only this shard (None = scatter to all).
+    shard: int | None = None
+    #: Read consistency level (see :data:`CONSISTENCY_LEVELS`).
+    consistency: str = "one"
+    #: Partial-result deadline: a cluster coordinator answers from the
+    #: shards that completed by then (None = wait for every shard).
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -101,11 +125,22 @@ class SearchRequest:
         if not isinstance(self.params, tuple):
             object.__setattr__(self, "params",
                                tuple(sorted(dict(self.params).items())))
+        if self.shard is not None and self.shard < 0:
+            raise EngineError(f"bad shard hint: {self.shard}")
+        if self.consistency not in CONSISTENCY_LEVELS:
+            raise EngineError(
+                f"unknown consistency level {self.consistency!r}; "
+                f"expected one of {CONSISTENCY_LEVELS}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise EngineError(f"bad deadline_s: {self.deadline_s}")
 
     @classmethod
     def of(cls, query: t.Any, k: int = 10, filter: Filter | None = None,
+           *, shard: int | None = None, consistency: str = "one",
+           deadline_s: float | None = None,
            **params: t.Any) -> "SearchRequest":
-        return cls(query, k, filter, tuple(sorted(params.items())))
+        return cls(query, k, filter, tuple(sorted(params.items())),
+                   shard, consistency, deadline_s)
 
     @property
     def param_dict(self) -> dict[str, t.Any]:

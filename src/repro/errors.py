@@ -129,6 +129,17 @@ class ServeError(ReproError):
     :class:`~repro.serve.ServeResult`, not errors."""
 
 
+class ClusterError(ReproError):
+    """The distributed cluster layer was misconfigured or misused.
+
+    Raised eagerly for structural problems — a topology with no shards,
+    a shard hint outside the topology, an unknown consistency level, a
+    migration target that already serves the shard — never for runtime
+    degradation: dead replicas, partial scatter-gather results, and
+    failovers are *outcomes* counted in telemetry and reported through
+    :class:`DegradedResult`, not errors."""
+
+
 @dataclasses.dataclass(frozen=True)
 class DegradedResult:
     """Record of graceful degradation applied during a benchmark run.

@@ -12,6 +12,9 @@ host can do about it.  Three pieces:
 * :mod:`repro.faults.resilience` — :class:`ResiliencePolicy`: timeouts
   with exponential-backoff-and-jitter retries, hedged reads, and
   graceful search-parameter degradation;
+* :mod:`repro.faults.nodes` — :class:`NodeFaultPlan`: seeded node-kill
+  windows that take whole cluster nodes down mid-query, driving the
+  replica failover in :mod:`repro.cluster`;
 * :mod:`repro.faults.crash` — the *write-path* attacks:
   :class:`CrashPlan`/:class:`CrashInjector` kill a durable save or WAL
   append at a declared crash point (optionally tearing the in-flight
@@ -30,6 +33,7 @@ full fault model are documented in ``docs/ARCHITECTURE.md``,
 from repro.faults.crash import (Corruption, CorruptionPlan, CrashInjector,
                                 CrashPlan)
 from repro.faults.injector import FaultInjector
+from repro.faults.nodes import NodeFaultPlan, NodeKill
 from repro.faults.plan import (FAULT_KINDS, FaultEffect, FaultPlan,
                                FaultWindow, LatencySpike, ReadError,
                                TailAmplification, Throttle)
@@ -47,6 +51,8 @@ __all__ = [
     "FaultPlan",
     "FaultWindow",
     "LatencySpike",
+    "NodeFaultPlan",
+    "NodeKill",
     "PressureTracker",
     "ReadError",
     "ResiliencePolicy",

@@ -19,7 +19,17 @@ went — the stages of the paper's query path:
   client never issues before its previous query returned — see
   :mod:`repro.serve`).  Everything after dispatch is time in
   *service*: the latency decomposition is ``queue`` vs the sum of
-  the other stages.
+  the other stages;
+* ``network`` — cross-node hop latency on the scatter-gather path:
+  the coordinator waiting on the interconnect rather than on any
+  shard's CPU or device (zero on single-node runs — see
+  :mod:`repro.cluster`);
+* ``merge`` — coordinator CPU spent merging per-shard top-k results
+  into the global answer (zero on single-node runs).
+
+On cluster runs the coordinator namespaces each shard's segments at
+``shard * 1024 + segment`` so per-shard :class:`SegmentTiming` records
+never collide in :attr:`QuerySpan.segments`.
 
 Stage timings are kept both per segment (:class:`SegmentTiming`, one per
 searched segment, mirroring Milvus's intra-query parallelism) and as
@@ -35,7 +45,7 @@ import dataclasses
 import typing as t
 
 STAGES = ("queue", "rpc", "pool_wait", "cpu", "cpu_wait", "device",
-          "prefetch", "fault")
+          "prefetch", "fault", "network", "merge")
 
 
 @dataclasses.dataclass

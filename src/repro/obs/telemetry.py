@@ -120,6 +120,18 @@ class RunTelemetry:
         ``slo_misses``."""
         self.counter(f"serve_{event}").inc(amount)
 
+    def on_cluster(self, event: str, amount: int = 1) -> None:
+        """Record scatter-gather outcomes (see :mod:`repro.cluster`):
+        ``fanout`` (shard requests issued), ``hedges`` and
+        ``hedge_wins`` (duplicate cross-node requests raced against a
+        slow replica), ``failovers`` (replica retries after a node
+        death), ``quorum_waits`` (quorum satisfied before all replicas
+        answered), ``partial_results`` (queries answered from a shard
+        subset at the partial-result deadline), ``shards_missed``
+        (shard answers dropped by those deadlines), or ``migrations``
+        (replica moves completed while serving)."""
+        self.counter(f"cluster_{event}").inc(amount)
+
     def on_durability(self, event: str, amount: int = 1) -> None:
         """Record durability actions (see :mod:`repro.durability`):
         ``saves``, ``loads``, ``records_written``, ``records_verified``,

@@ -8,6 +8,7 @@ available offline): processes are generators yielding events.
 
 from repro.simkernel.env import Environment, Process
 from repro.simkernel.events import AllOf, AnyOf, Event, Race, Timeout
+from repro.simkernel.network import Network, NetworkSpec
 from repro.simkernel.resources import Resource
 
 __all__ = [
@@ -15,6 +16,8 @@ __all__ = [
     "AnyOf",
     "Environment",
     "Event",
+    "Network",
+    "NetworkSpec",
     "Process",
     "Race",
     "Resource",

@@ -412,6 +412,12 @@ class BenchRunner:
         self._plan_cache: dict[tuple, tuple[list[CompiledQuery],
                                             list[CompiledQuery],
                                             float | None]] = {}
+        #: Per-params functional results: one (ids, dists) pair per
+        #: query, captured alongside the compiled plans.  The cluster
+        #: coordinator merges these across shards (including the
+        #: partial-fan-out merges of deadline-degraded queries).
+        self._found_cache: dict[tuple, list[tuple[np.ndarray,
+                                                  np.ndarray]]] = {}
 
     # -- setup ---------------------------------------------------------------
 
@@ -445,13 +451,28 @@ class BenchRunner:
         warm, _found = self._functional_pass(params)
         recall = None
         if self.ground_truth is not None:
-            recall = recall_at_k(self.ground_truth[:, :self.k], found,
-                                 self.k)
+            recall = recall_at_k(self.ground_truth[:, :self.k],
+                                 [ids for ids, _dists in found], self.k)
         self._plan_cache[key] = (cold, warm, recall)
+        self._found_cache[key] = found
         return self._plan_cache[key]
 
+    def compiled_results(self, params: dict[str, t.Any],
+                         ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Per-query functional ``(ids, dists)`` under *params*.
+
+        Compiles (or reuses) the plans for *params* and returns the
+        functional pass's results — what the engine actually answered,
+        bit-identical between the cold and warm passes.  The cluster
+        layer merges these across shard runners.
+        """
+        key = tuple(sorted(params.items()))
+        self._compile(dict(params))
+        return self._found_cache[key]
+
     def _functional_pass(self, params: dict[str, t.Any],
-                         ) -> tuple[list[CompiledQuery], list[np.ndarray]]:
+                         ) -> tuple[list[CompiledQuery],
+                                    list[tuple[np.ndarray, np.ndarray]]]:
         plans, found = [], []
         # One batched call: segment kernels amortize across the whole
         # query set, and the results are bit-identical to per-query
@@ -472,7 +493,7 @@ class BenchRunner:
                 seg_hits.append(work.cache_hits)
                 seg_pf.append((work.prefetch_hits, work.prefetch_wasted))
             plans.append(CompiledQuery(segments, seg_hits, seg_pf))
-            found.append(response.ids)
+            found.append((response.ids, response.dists))
         return plans, found
 
     def _compile_work(self, work, segment_id: int | None,

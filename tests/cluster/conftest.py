@@ -1,0 +1,37 @@
+"""Shared corpora for the cluster suite: small, duplicated, tied."""
+
+import numpy as np
+import pytest
+
+from repro.data.groundtruth import exact_knn
+
+
+@pytest.fixture(scope="session")
+def tied_data():
+    """240 rows in 24 dims: 200 base + 40 exact duplicates.
+
+    The duplicates guarantee score ties whose (distance, id) resolution
+    the cross-shard merge must reproduce exactly; under hash sharding a
+    duplicate usually lands on a different shard than its original.
+    """
+    rng = np.random.default_rng(3)
+    base = rng.standard_normal((200, 24), dtype=np.float32)
+    return np.vstack([base, base[:40]])
+
+
+@pytest.fixture(scope="session")
+def tied_queries(tied_data):
+    rng = np.random.default_rng(4)
+    rows = rng.integers(0, tied_data.shape[0], size=16)
+    noise = rng.standard_normal((16, 24), dtype=np.float32) * 0.1
+    return tied_data[rows] + noise
+
+
+@pytest.fixture(scope="session")
+def replay_corpus():
+    """A larger corpus for the timing-layer tests (800 rows, 24 dims)."""
+    rng = np.random.default_rng(11)
+    X = rng.standard_normal((800, 24), dtype=np.float32)
+    queries = rng.standard_normal((48, 24), dtype=np.float32)
+    truth = exact_knn(X, queries, 10, "l2")
+    return X, queries, truth

@@ -20,15 +20,17 @@ SNAPSHOT = pathlib.Path(__file__).with_name("api_surface.txt")
 def render_surface() -> str:
     import repro
     import repro.api
+    import repro.cluster
     import repro.engines
     import repro.prefetch
     import repro.serve
-    from repro.api import Session
+    from repro.api import ClusterSession, Deployment, Session
     from repro.engines.engine import IndexSpec, SearchRequest
     from repro.ann.workprofile import SearchResult
 
     lines = []
-    for module in (repro, repro.engines, repro.prefetch, repro.serve):
+    for module in (repro, repro.cluster, repro.engines, repro.prefetch,
+                   repro.serve):
         for name in sorted(module.__all__):
             lines.append(f"{module.__name__}: {name}")
     for name in sorted(vars(repro.api)):
@@ -36,10 +38,14 @@ def render_surface() -> str:
         if not name.startswith("_") and inspect.isfunction(member):
             lines.append(f"repro.api: {name}"
                          f"{inspect.signature(member)}")
-    for name, member in sorted(vars(Session).items()):
-        if not name.startswith("_") and callable(member):
-            lines.append(f"repro.api.Session.{name}"
-                         f"{inspect.signature(member)}")
+    for cls in (Session, ClusterSession):
+        for name, member in sorted(vars(cls).items()):
+            if not name.startswith("_") and callable(member):
+                lines.append(f"repro.api.{cls.__name__}.{name}"
+                             f"{inspect.signature(member)}")
+    members = sorted(name for name, member in vars(Deployment).items()
+                     if not name.startswith("_") and callable(member))
+    lines.append(f"repro.api.Deployment: {', '.join(members)}")
     for cls in (IndexSpec, SearchRequest, SearchResult):
         fields = sorted(getattr(cls, "__dataclass_fields__", {}))
         lines.append(f"{cls.__module__}.{cls.__name__}: "

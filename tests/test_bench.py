@@ -6,8 +6,10 @@ import pathlib
 
 import pytest
 
-from repro.bench import (BENCH_SCHEMA_VERSION, BenchConfig, format_bench,
-                         load_bench, run_bench, validate_bench, write_bench)
+from repro.bench import (BENCH_SCHEMA_VERSION, CLUSTER_FANOUTS,
+                         SUPPORTED_SCHEMA_VERSIONS, BenchConfig,
+                         format_bench, load_bench, run_bench,
+                         validate_bench, write_bench)
 from repro.errors import ReproError
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
@@ -31,6 +33,19 @@ def test_quick_doc_validates_and_covers_all_cases(quick_doc):
         config.sim_processes * config.sim_timeouts)
 
 
+def test_quick_doc_covers_every_cluster_fanout(quick_doc):
+    fanouts = [row["n_shards"] for row in quick_doc["cluster"]]
+    assert fanouts == list(CLUSTER_FANOUTS)
+    for row in quick_doc["cluster"]:
+        assert row["coordinator_qps"] > 0
+        assert 0.0 <= row["merge_overhead_fraction"] < 1.0
+        # Merge work grows with the fan-out, so the overhead fraction
+        # must too (it is zero-adjacent at N=1: one shard, k rows).
+    overheads = [row["merge_overhead_fraction"]
+                 for row in quick_doc["cluster"]]
+    assert overheads == sorted(overheads)
+
+
 def test_roundtrip_through_disk(quick_doc, tmp_path):
     path = tmp_path / "bench.json"
     write_bench(quick_doc, path)
@@ -50,6 +65,11 @@ def test_format_bench_mentions_every_index(quick_doc):
     lambda d: d["results"][0].pop("batch_qps"),
     lambda d: d["results"][0].update(batch_speedup=0),
     lambda d: d["sim"].update(events_per_s="fast"),
+    lambda d: d.pop("cluster"),
+    lambda d: d.update(cluster=[]),
+    lambda d: d["cluster"][0].pop("coordinator_qps"),
+    lambda d: d["cluster"][0].update(merge_overhead_fraction=1.5),
+    lambda d: d["cluster"][0].update(n_shards=0),
 ])
 def test_validate_rejects_malformed_documents(quick_doc, mutate):
     doc = copy.deepcopy(quick_doc)
@@ -71,6 +91,34 @@ def test_committed_trajectory_holds_the_gate():
     speedups = {r["name"]: r["batch_speedup"] for r in doc["results"]}
     assert speedups["flat"] >= 3.0
     assert speedups["ivf"] >= 3.0
+
+
+def test_v1_documents_stay_valid():
+    """Old committed documents (no cluster section) validate forever."""
+    doc = load_bench(REPO / "BENCH_6.json")
+    assert doc["schema_version"] == 1
+    assert 1 in SUPPORTED_SCHEMA_VERSIONS
+    assert "cluster" not in doc
+
+
+def test_bench_7_extends_the_trajectory():
+    """BENCH_7.json is v2: the kernel gates still hold and the cluster
+    section shows the scatter-gather coordinator keeping its throughput
+    as the fan-out grows."""
+    doc = load_bench(REPO / "BENCH_7.json")
+    assert doc["schema_version"] == 2
+    assert doc["quick"] is False
+    speedups = {r["name"]: r["batch_speedup"] for r in doc["results"]}
+    assert speedups["flat"] >= 3.0
+    assert speedups["ivf"] >= 3.0
+    fanouts = [row["n_shards"] for row in doc["cluster"]]
+    assert fanouts == list(CLUSTER_FANOUTS)
+    base = doc["cluster"][0]["coordinator_qps"]
+    for row in doc["cluster"]:
+        # Re-sharding the same corpus must never cost the coordinator
+        # meaningful throughput (the merge is nanoseconds per row).
+        assert row["coordinator_qps"] >= 0.8 * base
+        assert row["merge_overhead_fraction"] < 0.05
 
 
 def test_cli_bench_writes_valid_json(tmp_path, capsys):

@@ -32,12 +32,17 @@ DOCTESTED_MODULES = (
     "repro.serve.arrivals",
     "repro.serve.queueing",
     "repro.serve.controller",
+    "repro.cluster.topology",
+    "repro.cluster.merge",
+    "repro.simkernel.network",
+    "repro.faults.nodes",
 )
 
 #: Markdown documents whose code blocks are executed.
 DOCUMENTS = ("README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
              "docs/FAULT_MODEL.md", "docs/DURABILITY.md",
-             "docs/SERVING.md", "docs/BENCHMARKS.md")
+             "docs/SERVING.md", "docs/BENCHMARKS.md",
+             "docs/CLUSTER.md")
 
 #: Markdown files whose intra-repo links are checked.
 LINKED = sorted(str(p.relative_to(REPO)) for p in

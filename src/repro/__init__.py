@@ -16,6 +16,8 @@ Subpackages
 - ``repro.faults``   — fault injection + resilience (beyond the paper);
 - ``repro.cluster``  — sharding, replication, scatter-gather top-k over
   simulated nodes, behind the same :class:`Deployment` facade;
+- ``repro.mutate``   — streaming mutability: snapshot + delta log +
+  tombstones + background compaction (beyond the paper);
 - ``repro.core``     — the study: figures, observation checks, reports.
 
 The architecture — how a query flows through these layers — is
@@ -34,7 +36,7 @@ from repro.faults import FaultPlan, ResiliencePolicy
 from repro.serve import ServeConfig, ServeResult, TenantLoad
 from repro.workload.setup import make_runner
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BenchConfig",

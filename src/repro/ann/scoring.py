@@ -1,0 +1,114 @@
+"""Kind-matched scoring: reproduce an index's distance bits off-index.
+
+Every sealed index reports distances through one of three numeric
+paths, and the three produce different last-ulp bits for the same row:
+
+* **batch-formula kinds** (``flat``, ``ivf``): the fixed-width GEMM
+  batch kernel — for ``l2`` the expansion
+  ``|x|^2 + |q|^2 - 2<x, q>`` (:func:`~repro.ann.distance.make_batch_kernel`);
+* **gather kinds** (``hnsw``, ``diskann``, ``spann``, ``hnsw-mmap``):
+  the frontier gather kernel — for ``l2`` the direct
+  ``sum((x - q)^2)`` (:func:`~repro.ann.distance.make_kernel`);
+* **ADC kinds** (``ivf-pq``): per-subspace table lookups summed over
+  subspaces (:meth:`~repro.ann.pq.ProductQuantizer.adc_distances`).
+
+(For ``cosine`` data every kind first normalizes to the ``l2n``
+representation, where the batch and gather kernels agree bitwise.)
+
+The streaming-mutability layer needs a fourth party — the unsealed
+delta buffer — to score rows *bit-identically to what the collection's
+sealed index kind would report for them*, so that a merged
+base+delta search equals a freshly built index over the same rows not
+just in ranking but in every returned float (see
+``docs/MUTABILITY.md``).  :func:`delta_kernel` builds such a scorer.
+
+ADC distances are content-only in the exact-reconstruction regime
+(training rows <= codewords per subspace, where each vector decodes to
+itself): a quantizer trained on any superset or subset containing a row
+reports the same bits for it.  That is the property the cluster layer's
+shard-identity tests already rely on, and what lets a delta-trained
+quantizer here match a fresh build's full-trained one.
+
+>>> import numpy as np
+>>> from repro.ann.distance import prepare_queries
+>>> from repro.ann.flat import FlatIndex
+>>> rng = np.random.default_rng(0)
+>>> X = rng.standard_normal((32, 8), dtype=np.float32)
+>>> q = rng.standard_normal((1, 8), dtype=np.float32)
+>>> sealed = FlatIndex(metric="cosine").build(X).search(q[0], k=32)
+>>> score = delta_kernel("flat", "cosine", X)
+>>> dists = score(prepare_queries(q, "cosine"))[0]
+>>> bool(np.array_equal(np.sort(dists), sealed.dists))
+True
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from repro.ann.distance import make_batch_kernel, make_kernel, prepare
+from repro.ann.pq import ProductQuantizer
+from repro.errors import AnnIndexError
+
+#: Kinds whose reported distances come from the frontier gather kernel.
+GATHER_KINDS = ("hnsw", "diskann", "spann", "hnsw-mmap")
+
+#: Kinds whose reported distances come from the batched scan kernel.
+BATCH_KINDS = ("flat", "ivf")
+
+#: Kinds reporting asymmetric-distance (PQ table lookup) values.
+ADC_KINDS = ("ivf-pq",)
+
+
+def delta_kernel(kind: str | None, metric: str, X: np.ndarray, *,
+                 pq_m: int | None = None,
+                 seed: int = 0) -> t.Callable[[np.ndarray], np.ndarray]:
+    """A scorer over rows of *X* matching *kind*'s distance bits.
+
+    Returns ``score(Q) -> (B, n)`` float32 distances, where *Q* is a
+    block of **prepared** queries (:func:`~repro.ann.distance.
+    prepare_queries` with the same *metric*).  Row ``j`` of the result
+    carries, bit for bit, the distance a sealed index of *kind* built
+    over a dataset containing ``X[j]`` would report for that row.
+
+    ``kind=None`` (or an unknown kind, e.g. ``hnsw-sq``, whose sealed
+    distances depend on a quantizer trained over the *whole* dataset)
+    falls back to the exact gather kernel — correct ranking, no
+    bit-matching promise.
+
+    For ``ivf-pq``, *pq_m* is the sealed index's subspace count
+    (defaults to the engine's ``dim // 4`` rule) and the quantizer is
+    trained on *X* itself — in the exact-reconstruction regime that
+    yields the same bits as the fresh build's full-trained quantizer.
+    """
+    if X.ndim != 2 or X.shape[0] == 0:
+        raise AnnIndexError(f"delta kernel needs non-empty 2D data: "
+                            f"{X.shape}")
+    Xp, imetric = prepare(X, metric)
+    if kind in ADC_KINDS:
+        m = pq_m if pq_m is not None else Xp.shape[1] // 4
+        quantizer = ProductQuantizer(Xp.shape[1], m=m, seed=seed).train(Xp)
+        codes = quantizer.encode(Xp)
+
+        def score(Q: np.ndarray) -> np.ndarray:
+            tables = quantizer.adc_tables(Q)
+            return ProductQuantizer.adc_distances_batch(tables, codes)
+        return score
+    if kind in BATCH_KINDS:
+        batch = make_batch_kernel(Xp, imetric)
+
+        def score(Q: np.ndarray) -> np.ndarray:
+            return batch(Q, slice(None))
+        return score
+    # Gather kinds, and the exact fallback for None/unknown kinds.
+    kernel = make_kernel(Xp, imetric)
+    ids = np.arange(Xp.shape[0], dtype=np.int64)
+
+    def score(Q: np.ndarray) -> np.ndarray:
+        out = np.empty((Q.shape[0], Xp.shape[0]), dtype=np.float32)
+        for row in range(Q.shape[0]):
+            out[row] = kernel(Q[row], ids)
+        return out
+    return score

@@ -71,6 +71,8 @@ class Deployment(t.Protocol):
 
     def delete(self, name: str, row_ids: t.Iterable[int]) -> int: ...
 
+    def compact(self, name: str) -> None: ...
+
     def search(self, name: str, query: t.Any, k: int, **params): ...
 
     def search_batch(self, name: str, queries: np.ndarray,
@@ -223,12 +225,71 @@ class Session:
         return ids
 
     def flush(self, name: str) -> None:
-        """Seal the growing buffer into an indexed segment."""
+        """Seal the growing buffer into an indexed segment.
+
+        Un-flushed rows are still searchable (the delta buffer is
+        scanned brute-force and merged bit-identically); flushing
+        moves them into sealed, indexed segments and checkpoints
+        their WAL entries:
+
+        >>> import numpy as np
+        >>> session = open_engine()
+        >>> _ = session.create("d", dim=4, index="flat")
+        >>> _ = session.insert("d", np.eye(4, dtype=np.float32))
+        >>> len(session.collection("d").growing)
+        4
+        >>> session.flush("d")
+        >>> len(session.collection("d").growing)
+        0
+        """
         self.engine.flush(name)
 
     def delete(self, name: str, row_ids: t.Iterable[int]) -> int:
-        """Tombstone rows by id; returns how many were newly deleted."""
+        """Tombstone rows by id; returns how many were newly deleted.
+
+        A delete never rewrites a sealed segment — the id joins the
+        collection's :class:`~repro.mutate.Tombstones`, searches mask
+        it out, and the next :meth:`compact` drops it physically:
+
+        >>> import numpy as np
+        >>> session = open_engine()
+        >>> _ = session.create("d", dim=4, index="flat")
+        >>> _ = session.insert("d", np.eye(4, dtype=np.float32),
+        ...                    flush=True)
+        >>> session.delete("d", [0, 2, 99])     # 99 never existed
+        2
+        >>> session.search("d", np.eye(4, dtype=np.float32)[0],
+        ...                k=2).ids.tolist()
+        [1, 3]
+        """
         return self.engine.delete(name, row_ids)
+
+    def compact(self, name: str) -> None:
+        """Merge the delta into a fresh snapshot, dropping tombstones.
+
+        Rebuilds the collection's sealed segments from its live rows
+        (base minus tombstones, plus the delta buffer) with the same
+        segmentation plan and seeds a fresh build would use, then
+        truncates the checkpointed WAL.  Search results are unchanged
+        — merged search was already bit-identical to a fresh build:
+
+        >>> import numpy as np
+        >>> session = open_engine()
+        >>> _ = session.create("d", dim=4, index="flat")
+        >>> _ = session.insert("d", np.eye(4, dtype=np.float32),
+        ...                    flush=True)
+        >>> session.delete("d", [0])
+        1
+        >>> session.compact("d")
+        >>> len(session.collection("d").tombstones)
+        0
+        >>> session.collection("d").total_rows
+        3
+
+        Policy-gated, telemetry-counted compaction lives in
+        :func:`repro.mutate.compact_engine`.
+        """
+        self.engine.compact(name)
 
     # -- persistence ------------------------------------------------------
 
@@ -455,6 +516,14 @@ class ClusterSession:
     def delete(self, name: str, row_ids: t.Iterable[int]) -> int:
         """Tombstone rows by global id; returns how many existed."""
         return self.cluster.delete(name, row_ids)
+
+    def compact(self, name: str) -> None:
+        """Merge every shard's delta into fresh snapshots.
+
+        Applied through the op log on all replicas of each shard;
+        compaction is deterministic, so replicas stay bit-identical.
+        """
+        self.cluster.compact(name)
 
     # -- persistence ------------------------------------------------------
 

@@ -153,6 +153,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if all(data["verdicts"].values()) else 1
 
 
+def cmd_mutate(args: argparse.Namespace) -> int:
+    from repro.mutate.study import mutate_study
+    duration = min(args.duration, 0.3) if args.quick else args.duration
+    data = mutate_study(
+        args.dataset, duration_s=duration, seed=args.seed,
+        quick=args.quick,
+        progress=lambda m: print(f"[mutate] {m}", file=sys.stderr))
+    print(report.render_mutate_study(data))
+    return 0 if all(data["verdicts"].values()) else 1
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     from repro.cluster.study import cluster_study
     duration = min(args.duration, 0.25) if args.quick else args.duration
@@ -308,6 +319,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="arrival-timeline seed (default 0)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "mutate",
+        help="streaming-mutability study: merged-search identity, "
+             "reads under sustained writes, compaction interference "
+             "(beyond the paper)")
+    p.add_argument("-d", "--dataset", default="cohere-1m",
+                   choices=DATASET_NAMES)
+    p.add_argument("--quick", action="store_true",
+                   help="two index kinds, shorter window (CI smoke)")
+    p.add_argument("--duration", type=float, default=0.5,
+                   help="simulated seconds per serving run (default 0.5)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="history + arrival-timeline seed (default 0)")
+    p.set_defaults(fn=cmd_mutate)
 
     p = sub.add_parser(
         "cluster",

@@ -191,6 +191,22 @@ class Cluster:
             for node in self.routing[shard]:
                 self._apply(node, op)
 
+    def compact(self, name: str) -> None:
+        """Merge each shard's delta into a fresh snapshot, all replicas.
+
+        Compaction is deterministic (the rebuild reuses the same
+        segmentation plan and seeds a fresh build would), so replaying
+        the same op on every replica of a shard leaves them
+        bit-identical — the same argument that keeps the op log
+        convergent for ``flush``.
+        """
+        self._meta(name)
+        for shard in range(self.topology.n_shards):
+            op = ("compact", name)
+            self._oplog[shard].append(op)
+            for node in self.routing[shard]:
+                self._apply(node, op)
+
     def delete(self, name: str, row_ids: t.Iterable[int]) -> int:
         """Tombstone rows by global id; returns how many existed."""
         meta = self._meta(name)
@@ -428,4 +444,6 @@ class Cluster:
             return engine.flush(op[1])
         if kind == "delete":
             return engine.delete(op[1], op[2])
+        if kind == "compact":
+            return engine.compact(op[1])
         raise ClusterError(f"unknown op: {kind!r}")

@@ -235,6 +235,66 @@ def render_serving_study(data: dict) -> str:
     return "\n\n".join(blocks)
 
 
+def render_mutate_study(data: dict) -> str:
+    """Tables for the streaming-mutability study (``repro mutate``).
+
+    The per-kind merged-search identity table, the read-only vs
+    read+write interference comparison, the compaction ledger with its
+    windows, the in-vs-out-of-window latency split, and the verdicts.
+    """
+    identity_rows = [
+        [row["kind"], row["metric"], row["live_rows"],
+         "bit-identical" if row["merged_identical"] else "DRIFT",
+         "bit-identical" if row["compacted_identical"] else "DRIFT"]
+        for row in data["identity"]]
+    probe = data["probe"]
+    load = data["load"]
+    base, mut = data["baseline"], data["mutated"]
+    compare_rows = [
+        [label, _fmt(row["qps"], 0), _fmt(row["goodput_qps"], 0),
+         _fmt(row["recall"], 3), _fmt(row["p50_ms"], 2),
+         _fmt(row["p99_ms"], 2), row["slo_misses"]]
+        for label, row in (("read-only", base), ("reads+writes", mut))]
+    window = data["window"]
+    windows = ", ".join(f"{start:.0f}-{end:.0f}"
+                        for start, end in mut["compaction_windows_ms"])
+    verdict_rows = [[name, "HOLDS" if holds else "DIFFERS"]
+                    for name, holds in data["verdicts"].items()]
+    return "\n".join([
+        f"[{data['dataset']}] mutability study, "
+        f"window={data['duration_s']}s, seed={data['seed']}",
+        "",
+        "merged search (snapshot + delta - tombstones) vs fresh "
+        "rebuild over the live rows:",
+        format_table(["kind", "metric", "live rows", "merged",
+                      "after compaction"], identity_rows),
+        "",
+        f"offered load: {probe['offered_qps']:.0f} QPS "
+        f"(0.6x the {probe['qps']:.0f} QPS closed-loop saturation), "
+        f"SLO {probe['slo_deadline_ms']:.1f} ms",
+        f"write stream: {load['insert_qps']:.0f} inserts/s + "
+        f"{load['delete_qps']:.0f} deletes/s, compaction at "
+        f"{load['delta_rows_threshold']} delta rows",
+        "",
+        format_table(["config", "QPS", "goodput", "recall@10", "p50 ms",
+                      "p99 ms", "late"], compare_rows),
+        "",
+        f"mutation ledger: {mut['inserted_rows']} rows in / "
+        f"{mut['deleted_rows']} deleted, "
+        f"{mut['wal_mib']:.1f} MiB WAL, "
+        f"{mut['compactions']} compactions "
+        f"({mut['compaction_read_mib']:.0f} MiB read, "
+        f"{mut['compaction_write_mib']:.0f} MiB written)",
+        f"compaction windows (ms): {windows}",
+        f"query latency: {window['in_window_mean_ms']:.2f} ms mean "
+        f"inside the windows ({window['in_window_queries']} queries) vs "
+        f"{window['out_window_mean_ms']:.2f} ms outside "
+        f"({window['out_window_queries']})",
+        "",
+        format_table(["verdict", "holds"], verdict_rows),
+    ])
+
+
 def render_cluster_study(data: dict) -> str:
     """Tables for the distributed cluster study (``repro cluster``).
 

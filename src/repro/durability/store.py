@@ -249,7 +249,8 @@ def load_engine(path: str | Path, *,
                                 engine.profile, meta["storage_dim"],
                                 seed=meta["seed"])
         collection.payloads = meta["payloads"]
-        collection.tombstones = set(meta["tombstones"])
+        from repro.mutate.tombstones import Tombstones
+        collection.tombstones = Tombstones(meta["tombstones"])
         collection._next_row_id = meta["next_row_id"]
         segment_entries = sorted(
             (e for e in manifest.entries

@@ -34,6 +34,7 @@ from repro.engines.payload import Filter, Payload, PayloadStore
 from repro.engines.profiles import EngineProfile, get_profile
 from repro.engines.segments import GrowingBuffer, Segment, plan_segments
 from repro.engines.wal import WriteAheadLog
+from repro.mutate.tombstones import Tombstones
 from repro.errors import (CollectionNotFoundError, EngineError,
                           OutOfMemoryError)
 
@@ -266,8 +267,15 @@ class Collection:
         self.wal = WriteAheadLog()
         self.payloads = PayloadStore()
         self.segments: list[Segment] = []
-        self.growing = GrowingBuffer(dim, index_spec.metric)
-        self.tombstones: set[int] = set()
+        # The delta buffer scores unsealed rows through the collection's
+        # index kind so merged base+delta searches report the bits a
+        # fresh build would (see repro.ann.scoring / repro.mutate).
+        self.growing = GrowingBuffer(
+            dim, index_spec.metric, kind=index_spec.kind,
+            pq_m=(index_spec.params.pq_m
+                  if index_spec.kind == "ivf-pq" else None),
+            seed=seed)
+        self.tombstones: set[int] = Tombstones()
         self._next_row_id = 0
 
     # -- mutations -------------------------------------------------------
@@ -327,6 +335,18 @@ class Collection:
             vectors = np.vstack(
                 [seg.vectors for seg in self.segments] + [vectors])
             self.segments.clear()
+        created = self._build_segments(row_ids, vectors)
+        self.wal.checkpoint()
+        return created
+
+    def _build_segments(self, row_ids: np.ndarray,
+                        vectors: np.ndarray) -> list[Segment]:
+        """Seal *(row_ids, vectors)* into indexed segments.
+
+        Segment ids and index seeds continue from the current segment
+        count, so a compaction that first clears the list rebuilds with
+        the same seeds a fresh collection's flush would use.
+        """
         segment_bytes = (None if self.index_spec.kind == "diskann"
                          else self.profile.segment_bytes)
         vector_bytes = 4 * self.storage_dim
@@ -340,8 +360,64 @@ class Collection:
                               vectors[start:stop], index)
             self.segments.append(segment)
             created.append(segment)
-        self.wal.checkpoint()
         return created
+
+    def compact(self) -> dict[str, int]:
+        """Merge base snapshot + delta into a fresh snapshot.
+
+        The streaming-mutability merge (see ``docs/MUTABILITY.md``):
+        live rows from every sealed segment and the growing buffer are
+        re-sealed into new segments built exactly as a fresh
+        collection's flush would build them (same segmentation plan,
+        same per-segment seeds), tombstoned rows are physically
+        dropped, the tombstone set is cleared, and the WAL is
+        checkpointed and truncated — its entries are now baked into
+        the snapshot.  Post-compaction searches are therefore
+        bit-identical to a freshly built index over the live rows.
+
+        This is the functional half of compaction; the timing half (a
+        background simproc issuing the merge's reads and writes on the
+        shared simulated SSD) lives in :mod:`repro.mutate.simproc`,
+        and the durable commit (versioned-manifest swap) in
+        :mod:`repro.mutate.compactor`.
+
+        Returns a stats dict: ``rows_kept``, ``rows_dropped``,
+        ``segments_before``, ``segments_after``, ``bytes_read``,
+        ``bytes_written``.
+        """
+        parts_ids = [seg.row_ids for seg in self.segments]
+        parts_vecs = [seg.vectors for seg in self.segments]
+        bytes_read = sum(seg.vectors.nbytes + seg.index.disk_bytes()
+                         for seg in self.segments)
+        if len(self.growing):
+            grow_ids, grow_vecs = self.growing.drain()
+            parts_ids.append(grow_ids)
+            parts_vecs.append(grow_vecs)
+            bytes_read += grow_vecs.nbytes
+        stats = {"segments_before": len(self.segments),
+                 "bytes_read": int(bytes_read)}
+        self.segments = []
+        if parts_ids:
+            row_ids = np.concatenate(parts_ids)
+            vectors = np.vstack(parts_vecs)
+            live = np.asarray([rid not in self.tombstones
+                               for rid in row_ids], dtype=bool)
+        else:
+            row_ids = np.empty(0, dtype=np.int64)
+            vectors = np.empty((0, self.dim), dtype=np.float32)
+            live = np.empty(0, dtype=bool)
+        self.tombstones.clear()
+        self.wal.checkpoint()
+        self.wal.truncate()
+        stats["rows_kept"] = int(live.sum())
+        stats["rows_dropped"] = int(len(row_ids) - live.sum())
+        if stats["rows_kept"]:
+            self._build_segments(row_ids[live], vectors[live])
+        stats["segments_after"] = len(self.segments)
+        stats["bytes_written"] = int(
+            sum(seg.vectors.nbytes + seg.index.disk_bytes()
+                for seg in self.segments))
+        return stats
 
     # -- search ------------------------------------------------------------
 
@@ -552,6 +628,11 @@ class VectorEngine:
 
     def flush(self, name: str) -> list[Segment]:
         return self.collection(name).flush()
+
+    def compact(self, name: str) -> dict[str, int]:
+        """Merge a collection's delta into a fresh snapshot (see
+        :meth:`Collection.compact`)."""
+        return self.collection(name).compact()
 
     def search(self, name: str, query: np.ndarray, k: int = 10, *,
                filter_: Filter | None = None,

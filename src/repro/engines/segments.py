@@ -16,7 +16,8 @@ import dataclasses
 import numpy as np
 
 from repro.ann.base import VectorIndex
-from repro.ann.distance import distances, top_k
+from repro.ann.distance import distances, prepare_queries, top_k
+from repro.ann.scoring import delta_kernel
 from repro.ann.workprofile import SearchResult, WorkProfile
 from repro.errors import EngineError
 
@@ -61,13 +62,29 @@ class Segment:
 
 
 class GrowingBuffer:
-    """The mutable tail of a collection, searched by brute force."""
+    """The mutable tail of a collection: the in-memory delta buffer.
 
-    def __init__(self, dim: int, metric: str) -> None:
+    Unsealed rows are scored by brute force.  When bound to the
+    collection's index *kind*, the scan runs through the kind-matched
+    :func:`~repro.ann.scoring.delta_kernel`, so a delta row's reported
+    distance carries the exact bits the sealed index would report for
+    it — the invariant that makes a merged base+delta search
+    bit-identical to a fresh build over the same rows (see
+    ``docs/MUTABILITY.md``).  Unbound buffers (legacy pickles) keep the
+    historical exact-scan path.
+    """
+
+    def __init__(self, dim: int, metric: str, kind: str | None = None,
+                 pq_m: int | None = None, seed: int = 0) -> None:
         self.dim = dim
         self.metric = metric
+        self.kind = kind
+        self.pq_m = pq_m
+        self.seed = seed
         self._row_ids: list[int] = []
         self._vectors: list[np.ndarray] = []
+        self._scorer = None
+        self._scorer_rows = -1
 
     def __len__(self) -> int:
         return len(self._row_ids)
@@ -79,17 +96,33 @@ class GrowingBuffer:
         self._row_ids.append(row_id)
         self._vectors.append(np.asarray(vector, dtype=np.float32))
 
+    def _score(self, queries: np.ndarray) -> np.ndarray:
+        """Kind-matched ``(B, n)`` distances over the unsealed rows."""
+        if self._scorer is None or self._scorer_rows != len(self._row_ids):
+            self._scorer = delta_kernel(
+                getattr(self, "kind", None), self.metric,
+                np.vstack(self._vectors), pq_m=getattr(self, "pq_m", None),
+                seed=getattr(self, "seed", 0))
+            self._scorer_rows = len(self._row_ids)
+        return self._scorer(prepare_queries(queries, self.metric))
+
     def search(self, query: np.ndarray, k: int) -> SearchResult:
         """Brute-force scan of unsealed rows (global ids)."""
         work = WorkProfile()
         if not self._row_ids:
             return SearchResult(ids=np.empty(0, dtype=np.int64), work=work)
-        X = np.vstack(self._vectors)
-        dists = distances(query, X, self.metric)
-        if self.metric == "cosine":
-            # Sealed indexes report squared-L2-on-unit-vectors (l2n)
-            # distances; convert so merged rankings are consistent.
-            dists = 2.0 + 2.0 * dists
+        if getattr(self, "kind", None) is not None:
+            dists = self._score(np.asarray(query, dtype=np.float32)
+                                .reshape(1, -1))[0]
+        else:
+            # Legacy path for buffers pickled before kind binding.
+            X = np.vstack(self._vectors)
+            dists = distances(query, X, self.metric)
+            if self.metric == "cosine":
+                # Sealed indexes report squared-L2-on-unit-vectors
+                # (l2n) distances; convert so merged rankings are
+                # consistent.
+                dists = 2.0 + 2.0 * dists
         work.add_cpu(full_evals=len(self._row_ids))
         order = top_k(dists, k)
         ids = np.asarray(self._row_ids, dtype=np.int64)[order]
@@ -99,7 +132,20 @@ class GrowingBuffer:
     def search_batch(self, queries: np.ndarray,
                      k: int) -> list[SearchResult]:
         """Batched :meth:`search`; bit-identical to looping it."""
-        return [self.search(query, k) for query in queries]
+        if not self._row_ids or getattr(self, "kind", None) is None:
+            return [self.search(query, k) for query in queries]
+        queries = np.asarray(queries, dtype=np.float32)
+        all_dists = self._score(queries)
+        ids = np.asarray(self._row_ids, dtype=np.int64)
+        results = []
+        for row in range(queries.shape[0]):
+            work = WorkProfile()
+            work.add_cpu(full_evals=len(self._row_ids))
+            order = top_k(all_dists[row], k)
+            results.append(SearchResult(
+                ids=ids[order], work=work,
+                dists=all_dists[row][order].astype(np.float32)))
+        return results
 
     def drain(self) -> tuple[np.ndarray, np.ndarray]:
         """Remove and return (row_ids, vectors) for sealing."""

@@ -1,0 +1,56 @@
+"""Streaming mutability: snapshot + delta log + background compaction.
+
+Production vector databases interleave heavy writes with reads, while
+the paper benchmarks build-then-query snapshots.  This package closes
+the gap with the hybrid architecture of beaver and FreshDiskANN:
+
+* the **base snapshot** — a collection's sealed, immutable segments;
+* the **delta log** — every insert/delete appended to the
+  record-framed WAL (:class:`DeltaLog` is its accounting view) and
+  mirrored in the in-memory brute-force delta buffer;
+* **tombstones** (:class:`Tombstones`) — deletes never touch the
+  snapshot, they mask rows at merge time;
+* **compaction** — when a :class:`CompactionPolicy` triggers,
+  :func:`compact_engine` merges live base+delta rows into a fresh
+  snapshot and commits it through the durability layer's
+  versioned-manifest swap (old-or-new-never-hybrid), while
+  :mod:`repro.mutate.simproc` replays the merge's reads and writes on
+  the shared simulated SSD so its interference with concurrent
+  queries shows up in spans and counters.
+
+Searches merge base-index top-k with the delta buffer bit-identically
+to a freshly built index over the same live rows — the invariant
+``tests/mutate`` pins across every index kind.  The walkthrough lives
+in ``docs/MUTABILITY.md``; the ``repro mutate`` study measures
+recall/P99/goodput under sustained inserts+deletes, including the
+compaction interference window.
+"""
+
+import typing as t
+
+_EXPORTS = {
+    "Tombstones": "repro.mutate.tombstones",
+    "DeltaLog": "repro.mutate.delta",
+    "CompactionPolicy": "repro.mutate.policy",
+    "CompactionReport": "repro.mutate.compactor",
+    "compact_collection": "repro.mutate.compactor",
+    "compact_engine": "repro.mutate.compactor",
+    "MutationLoad": "repro.mutate.simproc",
+    "MutationState": "repro.mutate.simproc",
+    "MutationStats": "repro.mutate.simproc",
+    "start_mutation_load": "repro.mutate.simproc",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> t.Any:
+    # Lazy exports (PEP 562): repro.engines imports Tombstones from the
+    # submodule while repro.mutate.compactor imports repro.engines —
+    # resolving attributes on demand keeps that pair acyclic.
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro.mutate' has no "
+                             f"attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module), name)

@@ -1,0 +1,70 @@
+"""The delta log: a collection's pending mutations, accounted.
+
+Every ``insert``/``delete`` is appended to the collection's
+record-framed WAL *before* it is applied (and persists through
+:mod:`repro.durability.walio`, so a crash replays it); inserts are
+additionally mirrored into the in-memory growing buffer that merged
+searches scan brute-force.  :class:`DeltaLog` is the read-only
+accounting view over that pair — what a :class:`~repro.mutate.policy.
+CompactionPolicy` consumes and what the ``repro mutate`` study
+reports.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+if t.TYPE_CHECKING:
+    from repro.engines.engine import Collection
+    from repro.engines.wal import WalEntry
+
+
+class DeltaLog:
+    """Accounting view over one collection's un-compacted mutations.
+
+    >>> import numpy as np
+    >>> from repro.api import open_engine
+    >>> from repro.mutate import DeltaLog
+    >>> session = open_engine("milvus")
+    >>> _ = session.create("docs", dim=4, index="flat")
+    >>> _ = session.insert("docs", np.eye(4, dtype=np.float32))
+    >>> session.delete("docs", [1])
+    1
+    >>> log = DeltaLog(session.collection("docs"))
+    >>> log.pending_inserts, log.pending_deletes
+    (4, 1)
+    >>> log.nbytes > 0
+    True
+    >>> session.flush("docs")      # sealing checkpoints the inserts
+    >>> DeltaLog(session.collection("docs")).pending_inserts
+    0
+    """
+
+    def __init__(self, collection: "Collection") -> None:
+        self.collection = collection
+
+    @property
+    def pending_inserts(self) -> int:
+        """Rows in the delta buffer (inserted, not yet sealed)."""
+        return len(self.collection.growing)
+
+    @property
+    def pending_deletes(self) -> int:
+        """Tombstones not yet dropped by a compaction."""
+        return len(self.collection.tombstones)
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size of the WAL entries past the last checkpoint
+        — the bytes a recovery would replay."""
+        return sum(entry.entry_bytes()
+                   for entry in self.collection.wal.pending())
+
+    def entries(self) -> "list[WalEntry]":
+        """The un-checkpointed WAL entries, oldest first."""
+        return self.collection.wal.pending()
+
+    def __repr__(self) -> str:
+        return (f"DeltaLog({self.collection.name!r}, "
+                f"inserts={self.pending_inserts}, "
+                f"deletes={self.pending_deletes}, nbytes={self.nbytes})")

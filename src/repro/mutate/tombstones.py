@@ -1,0 +1,44 @@
+"""Tombstones: deletes as masks over immutable snapshots.
+
+A delete never rewrites a sealed segment — the row id joins the
+tombstone set, merged searches filter it out, and the next compaction
+drops the row physically.  The set is the *live-row authority*: a row
+exists iff it was inserted and is not tombstoned.
+
+:class:`Tombstones` subclasses :class:`set`, so it pickles, compares,
+and persists exactly like the plain sets collections historically
+carried (the durability layer stores ``set(collection.tombstones)``
+in each collection's meta record and older stores load unchanged).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+
+class Tombstones(set):
+    """The deleted-row-id set of one collection.
+
+    Plain :class:`set` semantics plus vectorized filtering helpers:
+
+    >>> dead = Tombstones([3, 7])
+    >>> 3 in dead, 5 in dead
+    (True, False)
+    >>> dead.alive([2, 3, 4, 7]).tolist()
+    [True, False, True, False]
+    >>> sorted(dead.filter([2, 3, 4, 7]))
+    [2, 4]
+    >>> len(Tombstones())
+    0
+    """
+
+    def alive(self, row_ids: t.Iterable[int]) -> np.ndarray:
+        """Boolean mask over *row_ids*: True where the row survives."""
+        return np.asarray([int(rid) not in self for rid in row_ids],
+                          dtype=bool)
+
+    def filter(self, row_ids: t.Iterable[int]) -> list[int]:
+        """The surviving subset of *row_ids*, order preserved."""
+        return [int(rid) for rid in row_ids if int(rid) not in self]

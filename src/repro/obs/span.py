@@ -25,7 +25,15 @@ went — the stages of the paper's query path:
   shard's CPU or device (zero on single-node runs — see
   :mod:`repro.cluster`);
 * ``merge`` — coordinator CPU spent merging per-shard top-k results
-  into the global answer (zero on single-node runs).
+  into the global answer (zero on single-node runs);
+* ``compact`` — the full wall-clock window of one background
+  compaction merging the mutation delta into a new snapshot.  Only
+  compaction spans (opened by
+  :meth:`~repro.obs.telemetry.RunTelemetry.begin_compaction`, with
+  ``index == client_id == -1``) carry this stage; query spans never
+  do, and compaction spans never enter the query-latency histogram —
+  the stage exists so the interference window is visible next to the
+  query stages it disturbs (see :mod:`repro.mutate`).
 
 On cluster runs the coordinator namespaces each shard's segments at
 ``shard * 1024 + segment`` so per-shard :class:`SegmentTiming` records
@@ -45,7 +53,7 @@ import dataclasses
 import typing as t
 
 STAGES = ("queue", "rpc", "pool_wait", "cpu", "cpu_wait", "device",
-          "prefetch", "fault", "network", "merge")
+          "prefetch", "fault", "network", "merge", "compact")
 
 
 @dataclasses.dataclass

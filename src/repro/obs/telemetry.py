@@ -34,6 +34,10 @@ class RunTelemetry:
 
     def __init__(self) -> None:
         self.spans: list[QuerySpan] = []
+        #: Background-compaction spans (see :mod:`repro.mutate`) — kept
+        #: apart from query spans so ``query_latency`` and the
+        #: per-query aggregates stay a pure query population.
+        self.compaction_spans: list[QuerySpan] = []
         self.query_latency = Histogram("query_latency_s", LATENCY_BUCKETS_S)
         self.stage_latency: dict[str, Histogram] = {}
         self.read_request_size = Histogram("read_request_size_bytes",
@@ -77,6 +81,32 @@ class RunTelemetry:
             self.counter("prefetch_wasted").inc(span.prefetch_wasted)
         if span.degraded:
             self.counter("degraded_queries").inc()
+
+    def begin_compaction(self, ordinal: int, now: float) -> QuerySpan:
+        """Open the span of one background compaction.
+
+        Compaction spans reuse :class:`~repro.obs.span.QuerySpan` with
+        ``index == client_id == -1`` and ``query_id`` the compaction
+        ordinal; they live in :attr:`compaction_spans`, never in
+        :attr:`spans`.
+        """
+        span = QuerySpan(query_id=ordinal, index=-1, client_id=-1,
+                         cold=False, start_s=now)
+        self.compaction_spans.append(span)
+        return span
+
+    def end_compaction(self, span: QuerySpan, now: float) -> None:
+        """Close a compaction span: its whole window becomes the
+        ``compact`` stage and its stages feed ``stage_latency``, but it
+        never enters ``query_latency`` — P99 stays a query number."""
+        span.finish(now)
+        span.add_stage("compact", span.latency_s)
+        for stage, seconds in span.stages.items():
+            hist = self.stage_latency.get(stage)
+            if hist is None:
+                hist = self.stage_latency[stage] = Histogram(
+                    f"stage_latency_s:{stage}", LATENCY_BUCKETS_S)
+            hist.observe(seconds)
 
     # -- hooks (called by instrumented components) -----------------------
 
@@ -138,6 +168,15 @@ class RunTelemetry:
         ``wal_replayed``, ``torn_tail_truncated``, ``scrubs``,
         ``scrub_findings``, or ``repair_removed``."""
         self.counter(f"durability_{event}").inc(amount)
+
+    def on_mutate(self, event: str, amount: int = 1) -> None:
+        """Record streaming-mutability activity (see
+        :mod:`repro.mutate`): ``insert_rows``, ``delete_rows``,
+        ``wal_flushes``, ``wal_bytes``, ``compactions``,
+        ``compaction_read_bytes``, ``compaction_write_bytes``,
+        ``compaction_commits``, ``compacted_rows_kept``, or
+        ``compacted_rows_dropped``."""
+        self.counter(f"mutate_{event}").inc(amount)
 
     def observe_queue_depth(self, resource: str, depth: int) -> None:
         """Sample a resource's wait-queue depth at request arrival."""
@@ -222,6 +261,7 @@ class RunTelemetry:
         """Compact roll-up used by reports and tests."""
         return {
             "queries": len(self.spans),
+            "compactions": len(self.compaction_spans),
             "total_read_bytes": self.total_read_bytes,
             "total_cache_hits": self.total_cache_hits,
             "prefetch_hit_rate": self.prefetch_hit_rate,

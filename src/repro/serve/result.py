@@ -25,6 +25,9 @@ import typing as t
 
 from repro.obs import RunTelemetry
 
+if t.TYPE_CHECKING:
+    from repro.mutate.simproc import MutationStats
+
 
 @dataclasses.dataclass(frozen=True)
 class TenantStats:
@@ -91,6 +94,9 @@ class ServeResult:
     #: Final concurrency limit (static or controller-discovered).
     final_limit: int | None = None
     recall: float | None = None
+    #: Mutation-stream accounting when the run carried a
+    #: :class:`repro.mutate.MutationLoad`; ``None`` on read-only runs.
+    mutation: "MutationStats | None" = None
     telemetry: RunTelemetry | None = dataclasses.field(
         default=None, compare=False, repr=False)
 
@@ -118,4 +124,9 @@ class ServeResult:
         data["tenants"] = [dataclasses.asdict(s) for s in self.tenants]
         data["controller_history"] = [list(p)
                                       for p in self.controller_history]
+        if self.mutation is not None:
+            mut = dataclasses.asdict(self.mutation)
+            mut["compaction_windows"] = [list(w) for w
+                                         in self.mutation.compaction_windows]
+            data["mutation"] = mut
         return data

@@ -46,6 +46,7 @@ from repro.serve.result import ServeResult, TenantStats
 from repro.workload.metrics import percentile
 
 if t.TYPE_CHECKING:
+    from repro.mutate.simproc import MutationLoad, MutationState
     from repro.workload.runner import BenchRunner, ReplaySession
 
 
@@ -96,6 +97,10 @@ class ServeConfig:
     max_queries: int = 25_000
     search_params: dict[str, t.Any] = dataclasses.field(
         default_factory=dict)
+    #: Concurrent insert/delete stream plus threshold-triggered
+    #: background compaction sharing the device and cores with queries
+    #: (see :class:`repro.mutate.MutationLoad`); ``None`` = read-only.
+    mutation: "MutationLoad | None" = None
 
     def __post_init__(self) -> None:
         if not self.tenants:
@@ -185,6 +190,7 @@ class Server:
         self.config = config
         self.telemetry = (RunTelemetry() if telemetry is True
                           else (telemetry or None))
+        self._mutation: "MutationState | None" = None
 
     # -- helpers ----------------------------------------------------------
 
@@ -278,6 +284,8 @@ class Server:
                                 if controller is not None else ()),
             final_limit=final_limit,
             recall=session.recall,
+            mutation=(self._mutation.stats()
+                      if self._mutation is not None else None),
             telemetry=self.telemetry,
         )
 
@@ -459,6 +467,11 @@ class Server:
         """Run the configured serving simulation and return its result."""
         session = self.runner.open_replay(self.config.search_params,
                                           telemetry=self.telemetry)
+        if self.config.mutation is not None:
+            from repro.mutate.simproc import start_mutation_load
+            self._mutation = start_mutation_load(
+                session, self.runner, self.config.mutation,
+                self.config.duration_s, telemetry=self.telemetry)
         if self.config.closed_loop:
             return self._serve_closed(session)
         return self._serve_open(session)

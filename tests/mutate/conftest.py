@@ -1,0 +1,55 @@
+"""Shared material for the streaming-mutability suite.
+
+``EXACT_SETUPS`` mirrors the cluster identity suite: build/search
+parameters under which every index kind retrieves *exactly* (nothing
+pruned), so merged-vs-rebuilt comparisons are bit-exact even on ties.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_vectors
+from repro.engines.engine import VectorEngine
+
+#: Corpus size for the identity properties; small enough that graph
+#: builds stay fast, large enough for multi-segment flush plans.
+N_ROWS = 96
+
+#: (kind, build params, exact search params).
+EXACT_SETUPS = [
+    ("flat", {}, {}),
+    ("ivf", {"nlist": 8}, {"nprobe": 8}),
+    ("ivf-pq", {"nlist": 8, "pq_m": 4}, {"nprobe": 8}),
+    ("hnsw", {"M": 16, "ef_construction": 200},
+     {"ef_search": N_ROWS}),
+    ("diskann", {"R": 32, "L_build": 64, "alpha": 1.2},
+     {"search_list": N_ROWS}),
+    ("spann", {"n_postings": 8},
+     {"nprobe": 8, "prune_eps": 10.0}),
+]
+
+
+def mutate_profile():
+    """A Milvus profile with every studied index kind enabled."""
+    profile = VectorEngine("milvus").profile
+    return dataclasses.replace(
+        profile,
+        supported_indexes=profile.supported_indexes + ("spann", "ivf-pq"))
+
+
+@pytest.fixture(scope="session")
+def pool():
+    """The row pool: 76 clustered vectors + 20 duplicates (ties)."""
+    base = make_vectors(N_ROWS - 20, 16, n_clusters=6, seed=3,
+                        latent_dim=6)
+    return np.vstack([base, base[:20]])
+
+
+@pytest.fixture(scope="session")
+def pool_queries(pool):
+    rng = np.random.default_rng(11)
+    rows = rng.integers(0, len(pool), size=4)
+    noise = rng.standard_normal((4, pool.shape[1])).astype(np.float32)
+    return pool[rows] + 0.05 * noise

@@ -1,0 +1,87 @@
+"""Crash during the compaction commit: old or new, never a hybrid.
+
+The compacted snapshot becomes durable through the same versioned
+save + manifest swap every store commit uses, so a crash at *any*
+declared save crash point must leave a store that loads as exactly
+the pre-compaction state (tombstones and delta intact, WAL replay
+restores the growing rows) or exactly the post-compaction one —
+decided by bit-comparing query results against both references.
+"""
+
+import numpy as np
+import pytest
+
+from repro.durability import SAVE_CRASH_POINTS, save_engine
+from repro.durability.store import load_engine
+from repro.engines.engine import IndexSpec, VectorEngine
+from repro.errors import InjectedCrash
+from repro.faults.crash import CrashInjector, CrashPlan
+
+from tests.mutate.conftest import mutate_profile
+
+
+def fingerprint(engine, queries):
+    out = []
+    for query in queries:
+        result = engine.search("mut", query, 5, ef_search=96)
+        out.append((result.ids.tobytes(), result.dists.tobytes()))
+    return out
+
+
+def build_engine(pool):
+    engine = VectorEngine(mutate_profile(), seed=0)
+    engine.create_collection(
+        "mut", pool.shape[1],
+        IndexSpec.of("hnsw", M=16, ef_construction=200))
+    engine.insert("mut", pool[:64])
+    engine.flush("mut")
+    engine.insert("mut", pool[64:])
+    engine.delete("mut", [2, 9, 70])
+    return engine
+
+
+@pytest.mark.parametrize("point", SAVE_CRASH_POINTS)
+@pytest.mark.parametrize("torn", [None, 0.5],
+                         ids=["clean", "torn"])
+def test_crash_during_compaction_commit(point, torn, pool, pool_queries,
+                                        tmp_path):
+    if torn is not None and not point.endswith(".write"):
+        pytest.skip("torn writes only apply to write points")
+    root = tmp_path / "store"
+    engine = build_engine(pool)
+    save_engine(engine, root)
+    old_prints = fingerprint(engine, pool_queries)
+
+    # The compaction must visibly move the top-k or the old/new
+    # distinction would be vacuous: drop the best hit of query 0 and
+    # add exact duplicates of every query before merging.
+    best = engine.search("mut", pool_queries[0], 1, ef_search=96).ids
+    engine.delete("mut", [int(best[0])])
+    engine.insert("mut", np.asarray(pool_queries))
+    engine.collection("mut").compact()
+    new_prints = fingerprint(engine, pool_queries)
+    assert new_prints != old_prints
+
+    injector = CrashInjector(CrashPlan.of(point, 0, torn_fraction=torn))
+    crashed = False
+    try:
+        save_engine(engine, root, crash=injector)
+    except InjectedCrash:
+        crashed = True
+
+    recovered = load_engine(root)
+    prints = fingerprint(recovered, pool_queries)
+    assert prints in (old_prints, new_prints), (
+        f"hybrid state after crash at {point} (crashed={crashed})")
+
+
+def test_commit_without_crash_is_the_new_state(pool, pool_queries,
+                                               tmp_path):
+    root = tmp_path / "store"
+    engine = build_engine(pool)
+    engine.collection("mut").compact()
+    save_engine(engine, root)
+    recovered = load_engine(root)
+    assert fingerprint(recovered, pool_queries) == fingerprint(
+        engine, pool_queries)
+    assert len(recovered.collection("mut").tombstones) == 0

@@ -1,0 +1,123 @@
+"""Timing-layer invariants of the mutation stream.
+
+Same seed => identical serving numbers *and* identical compaction
+windows; telemetry is passive; compaction spans never pollute the
+query-latency population.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.mutate import CompactionPolicy, MutationLoad
+from repro.serve import PoissonArrivals, ServeConfig, Server, TenantLoad
+from repro.workload import BenchRunner
+
+from tests.workload.test_runner import make_engine
+
+LOAD = MutationLoad(
+    insert_qps=60_000.0, delete_qps=6_000.0, batch_rows=64,
+    policy=CompactionPolicy(delta_rows=3_000, tombstone_fraction=0.5),
+    write_amplification=2.0)
+
+
+def run_serving(small_data, small_queries, small_truth, *,
+                mutation=LOAD, telemetry=None, seed=5):
+    # A fresh runner per run: the mutation processes allocate device
+    # extents, so sharing a runner would shift later runs' layouts.
+    # DiskANN with its node caches disabled keeps queries device-bound,
+    # so write interference is observable.
+    engine = make_engine(small_data, kind="diskann")
+    runner = BenchRunner(engine, "bench", small_queries,
+                         ground_truth=small_truth)
+    config = ServeConfig(
+        tenants=(TenantLoad("t", PoissonArrivals(rate_qps=4000.0)),),
+        duration_s=0.25, max_inflight=8, seed=seed,
+        search_params={"search_list": 30}, mutation=mutation)
+    return Server(runner, config, telemetry=telemetry).serve()
+
+
+def strip(result):
+    return dataclasses.replace(result, telemetry=None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result_and_windows(self, small_data,
+                                               small_queries, small_truth):
+        first = run_serving(small_data, small_queries, small_truth)
+        second = run_serving(small_data, small_queries, small_truth)
+        assert strip(first) == strip(second)
+        assert (first.mutation.compaction_windows
+                == second.mutation.compaction_windows)
+        assert first.mutation.compactions >= 1
+
+    def test_telemetry_is_passive(self, small_data, small_queries,
+                                  small_truth):
+        plain = run_serving(small_data, small_queries, small_truth)
+        instrumented = run_serving(small_data, small_queries, small_truth,
+                                   telemetry=True)
+        assert strip(plain) == strip(instrumented)
+        assert plain.telemetry is None
+        assert instrumented.telemetry is not None
+
+    def test_mutation_perturbs_latency(self, small_data, small_queries,
+                                       small_truth):
+        quiet = run_serving(small_data, small_queries, small_truth,
+                            mutation=None)
+        noisy = run_serving(small_data, small_queries, small_truth)
+        assert quiet.mutation is None
+        assert noisy.mutation is not None
+        assert noisy.p99_latency_s != quiet.p99_latency_s
+
+
+class TestTelemetrySeparation:
+    @pytest.fixture(scope="class")
+    def result(self, small_data, small_queries, small_truth):
+        return run_serving(small_data, small_queries, small_truth,
+                           telemetry=True)
+
+    def test_compaction_spans_separate_from_query_spans(self, result):
+        telemetry = result.telemetry
+        compactions = result.mutation.compactions
+        assert len(telemetry.compaction_spans) == compactions
+        assert all(s.index == -1 and s.client_id == -1
+                   for s in telemetry.compaction_spans)
+        assert all(s.index >= 0 for s in telemetry.spans)
+        # Query latency histogram counts queries only — compaction
+        # windows (orders of magnitude longer) never enter it.
+        assert telemetry.query_latency.count == len(telemetry.spans)
+
+    def test_compact_stage_recorded(self, result):
+        telemetry = result.telemetry
+        hist = telemetry.stage_latency["compact"]
+        assert hist.count == result.mutation.compactions
+        for span in telemetry.compaction_spans:
+            assert span.stages["compact"] == pytest.approx(span.latency_s)
+            assert span.read_bytes > 0
+
+    def test_mutation_counters(self, result):
+        counters = result.telemetry.summary()["counters"]
+        stats = result.mutation
+        assert counters["mutate_insert_rows"] == stats.inserted_rows
+        assert counters["mutate_delete_rows"] == stats.deleted_rows
+        assert counters["mutate_wal_bytes"] == stats.wal_bytes
+        assert counters["mutate_compactions"] == stats.compactions
+        assert (counters["mutate_compaction_read_bytes"]
+                == stats.compaction_read_bytes)
+        assert (counters["mutate_compaction_write_bytes"]
+                == stats.compaction_write_bytes)
+        assert (result.telemetry.summary()["compactions"]
+                == stats.compactions)
+
+    def test_windows_cover_positive_time(self, result):
+        for start, end in result.mutation.compaction_windows:
+            assert 0.0 <= start < end
+        assert result.mutation.in_window(*result.mutation
+                                         .compaction_windows[0])
+        assert not result.mutation.in_window(-2.0, -1.0)
+
+    def test_to_dict_serializes_mutation(self, result):
+        import json
+        data = result.to_dict()
+        assert data["mutation"]["compactions"] == result.mutation.compactions
+        json.dumps(data["mutation"])

@@ -1,0 +1,122 @@
+"""The tentpole property: merged search == fresh rebuild, bitwise.
+
+For every index kind and both metrics, any interleaving of inserts,
+deletes, and flushes must leave ``search`` returning exactly — same
+ids, same distance bits — what a freshly built index over the same
+live rows returns.  Hypothesis drives the interleavings; the setups
+retrieve exactly, so even tie-breaking must agree.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines.engine import IndexSpec
+
+from tests.mutate.conftest import EXACT_SETUPS, N_ROWS, mutate_profile
+from repro.engines.engine import VectorEngine
+
+#: One mutation step: insert up to 24 rows from the pool, tombstone a
+#: seeded handful of live rows, or seal the growing buffer.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(1, 24)),
+        st.tuples(st.just("delete"), st.integers(0, 2**31)),
+        st.tuples(st.just("flush"), st.just(0))),
+    min_size=1, max_size=6)
+
+PARAMS = [pytest.param(kind, build, search, metric,
+                       id=f"{kind}-{metric}")
+          for kind, build, search in EXACT_SETUPS
+          for metric in ("l2", "cosine")]
+
+
+def apply_history(collection, pool, ops):
+    """Replay one drawn interleaving; returns the sorted live ids."""
+    cursor = 40
+    collection.insert(pool[:cursor])
+    collection.flush()
+    live = set(range(cursor))
+    for op, arg in ops:
+        if op == "insert":
+            take = min(arg, len(pool) - cursor)
+            if take:
+                collection.insert(pool[cursor:cursor + take])
+                live.update(range(cursor, cursor + take))
+                cursor += take
+        elif op == "delete" and live:
+            rng = np.random.default_rng(arg)
+            victims = rng.choice(sorted(live),
+                                 size=min(5, len(live)), replace=False)
+            collection.delete(int(v) for v in victims)
+            live.difference_update(int(v) for v in victims)
+        elif op == "flush":
+            collection.flush()
+    return sorted(live)
+
+
+def assert_matches_rebuild(collection, pool, live, queries, search,
+                           spec, k):
+    """Merged top-k must map bit-for-bit onto a fresh build's."""
+    ref = VectorEngine(mutate_profile(), seed=0).create_collection(
+        "ref", pool.shape[1], spec)
+    ref.insert(pool[live])
+    ref.flush()
+    for q in queries:
+        got = collection.search(q, k, **search)
+        want = ref.search(q, k, **search)
+        mapped = np.asarray([live[i] for i in want.ids], dtype=np.int64)
+        assert np.array_equal(got.ids, mapped), (got.ids, mapped)
+        assert np.array_equal(got.dists, want.dists), (got.dists,
+                                                       want.dists)
+
+
+@pytest.mark.parametrize("kind,build,search,metric", PARAMS)
+@given(ops=OPS, k=st.integers(1, 12))
+@settings(max_examples=5, deadline=None, derandomize=True)
+def test_interleaved_history_matches_rebuild(kind, build, search, metric,
+                                             pool, pool_queries, ops, k):
+    spec = IndexSpec.of(kind, metric=metric, **build)
+    collection = VectorEngine(mutate_profile(), seed=0).create_collection(
+        "mut", pool.shape[1], spec)
+    live = apply_history(collection, pool, ops)
+    if not live:
+        return
+    assert_matches_rebuild(collection, pool, live, pool_queries,
+                           search, spec, k)
+
+
+@pytest.mark.parametrize("kind,build,search,metric", PARAMS)
+def test_unsealed_tail_and_tombstones(kind, build, search, metric,
+                                      pool, pool_queries):
+    """The fixed smoke case: sealed base + unsealed tail + deletes."""
+    spec = IndexSpec.of(kind, metric=metric, **build)
+    collection = VectorEngine(mutate_profile(), seed=0).create_collection(
+        "mut", pool.shape[1], spec)
+    collection.insert(pool[:64])
+    collection.flush()
+    collection.insert(pool[64:80])
+    collection.delete([0, 7, 65, 79, 80 % N_ROWS])
+    collection.insert(pool[80:])
+    live = sorted(set(range(len(pool))) - {0, 7, 65, 79, 80})
+    assert_matches_rebuild(collection, pool, live, pool_queries,
+                           search, spec, 10)
+
+
+def test_search_batch_matches_search(pool, pool_queries):
+    """Batched merged search is bit-identical to the query loop."""
+    for kind, build, search in EXACT_SETUPS:
+        spec = IndexSpec.of(kind, metric="cosine", **build)
+        collection = VectorEngine(mutate_profile(),
+                                  seed=0).create_collection(
+            "mut", pool.shape[1], spec)
+        collection.insert(pool[:70])
+        collection.flush()
+        collection.insert(pool[70:])
+        collection.delete([1, 4, 71])
+        batched = collection.search_batch(pool_queries, 10, **search)
+        for result, q in zip(batched, pool_queries):
+            single = collection.search(q, 10, **search)
+            assert np.array_equal(result.ids, single.ids)
+            assert np.array_equal(result.dists, single.dists)

@@ -49,7 +49,7 @@ class TestQuerySpan:
     def test_stage_names_are_the_documented_set(self):
         assert STAGES == ("queue", "rpc", "pool_wait", "cpu", "cpu_wait",
                           "device", "prefetch", "fault", "network",
-                          "merge")
+                          "merge", "compact")
 
     def test_dict_roundtrip_preserves_segments(self):
         span = make_span()

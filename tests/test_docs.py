@@ -36,13 +36,19 @@ DOCTESTED_MODULES = (
     "repro.cluster.merge",
     "repro.simkernel.network",
     "repro.faults.nodes",
+    "repro.ann.scoring",
+    "repro.mutate.tombstones",
+    "repro.mutate.policy",
+    "repro.mutate.delta",
+    "repro.mutate.compactor",
+    "repro.mutate.simproc",
 )
 
 #: Markdown documents whose code blocks are executed.
 DOCUMENTS = ("README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
              "docs/FAULT_MODEL.md", "docs/DURABILITY.md",
              "docs/SERVING.md", "docs/BENCHMARKS.md",
-             "docs/CLUSTER.md")
+             "docs/CLUSTER.md", "docs/MUTABILITY.md")
 
 #: Markdown files whose intra-repo links are checked.
 LINKED = sorted(str(p.relative_to(REPO)) for p in

@@ -18,6 +18,8 @@ Subpackages
   simulated nodes, behind the same :class:`Deployment` facade;
 - ``repro.mutate``   — streaming mutability: snapshot + delta log +
   tombstones + background compaction (beyond the paper);
+- ``repro.chaos``    — composed fault schedules, a self-healing
+  supervisor, invariant oracles, schedule shrinking (beyond the paper);
 - ``repro.core``     — the study: figures, observation checks, reports.
 
 The architecture — how a query flows through these layers — is
@@ -27,6 +29,8 @@ documented in ``docs/ARCHITECTURE.md``.
 from repro.api import ClusterSession, Deployment, Session, open_cluster, \
     open_engine
 from repro.bench import BenchConfig, run_bench
+from repro.chaos import (ChaosRunResult, ChaosSchedule, Supervisor,
+                         SupervisorConfig, run_chaos)
 from repro.cluster import ClusterTopology
 from repro.data.registry import load_dataset
 from repro.ann.workprofile import SearchResult
@@ -36,10 +40,12 @@ from repro.faults import FaultPlan, ResiliencePolicy
 from repro.serve import ServeConfig, ServeResult, TenantLoad
 from repro.workload.setup import make_runner
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BenchConfig",
+    "ChaosRunResult",
+    "ChaosSchedule",
     "ClusterSession",
     "ClusterTopology",
     "Deployment",
@@ -52,6 +58,8 @@ __all__ = [
     "ServeConfig",
     "ServeResult",
     "Session",
+    "Supervisor",
+    "SupervisorConfig",
     "TenantLoad",
     "VectorEngine",
     "__version__",
@@ -60,4 +68,5 @@ __all__ = [
     "open_cluster",
     "open_engine",
     "run_bench",
+    "run_chaos",
 ]

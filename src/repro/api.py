@@ -37,9 +37,11 @@ from repro.workload.runner import BenchRunner, WriteLoad
 
 if t.TYPE_CHECKING:
     from repro.ann.workprofile import SearchResult
+    from repro.chaos import ChaosRunResult, ChaosSchedule, Supervisor
     from repro.cluster import Cluster, ClusterBenchRunner, ClusterTopology
     from repro.cluster.cluster import ShardedCollection
     from repro.faults import FaultPlan, NodeFaultPlan, ResiliencePolicy
+    from repro.mutate import MutationLoad
     from repro.serve import ServeConfig, ServeResult
 
 
@@ -615,3 +617,36 @@ class ClusterSession:
                                    ground_truth=ground_truth, k=k,
                                    paper_n=paper_n)
         return Server(runner, config, telemetry=telemetry).serve()
+
+    # -- chaos ------------------------------------------------------------
+
+    def chaos(self, name: str, queries: np.ndarray,
+              config: "ServeConfig",
+              schedule: "ChaosSchedule | None" = None, *,
+              supervisor: "Supervisor | None" = None,
+              mutation: "MutationLoad | None" = None,
+              ground_truth: np.ndarray | None = None, k: int = 10,
+              telemetry: RunTelemetry | bool | None = None,
+              resilience: "ResiliencePolicy | None" = None,
+              healthy_recall: float | None = None,
+              paper_n: int | None = None) -> "ChaosRunResult":
+        """One chaos run: *schedule* injected while *config* serves.
+
+        The facade over :func:`repro.chaos.run_chaos`: every plane of
+        the composed :class:`~repro.chaos.ChaosSchedule` is armed
+        against this cluster, the optional
+        :class:`~repro.chaos.Supervisor` self-heals it, and the
+        returned :class:`~repro.chaos.ChaosRunResult` carries the
+        serving result plus the invariant-oracle battery's verdicts.
+        A chaos run consumes the session's cluster (the supervisor
+        edits routing; mutation grows allocators) — open a fresh one
+        per run.  See ``docs/CHAOS.md``.
+        """
+        from repro.chaos import run_chaos
+        runner = self.bench_runner(name, queries,
+                                   ground_truth=ground_truth, k=k,
+                                   paper_n=paper_n)
+        return run_chaos(runner, config, schedule,
+                         supervisor=supervisor, mutation=mutation,
+                         telemetry=telemetry, resilience=resilience,
+                         healthy_recall=healthy_recall)

@@ -1,0 +1,225 @@
+"""The invariant-oracle battery checked after every chaos run.
+
+Each oracle is a pure function over the artifacts a chaos run leaves
+behind (the :class:`~repro.serve.ServeResult`, the coordinator's
+ledgers, the functional cluster, telemetry) returning an
+:class:`OracleReport` — named verdict plus a human-readable detail.
+The battery:
+
+* **query conservation** — the serving ledger balances exactly:
+  ``arrivals == admitted + rejected`` and
+  ``admitted == completed + failed + shed``, per tenant and in total.
+  No query is ever lost off the books, no matter what faults fired;
+* **failure attribution** — three independent ledgers agree on failed
+  queries: the server's tally, the coordinator's per-fault-kind
+  attribution counter, and the telemetry counters the attribution
+  emitted (``cluster_failed_<kind>``).  Every failure names the fault
+  kind that caused it;
+* **old-or-new, never hybrid** — a crash injected into a post-chaos
+  snapshot save recovers to exactly the committed-old or committed-new
+  search state, bitwise, never a mixture (the durability invariant,
+  re-proven under chaos);
+* **post-chaos convergence** — after quiesce, functional mutation, and
+  compaction, the chaos-scarred cluster (supervisor-rebuilt replicas
+  included) answers bit-identically to a never-faulted cluster fed the
+  same op sequence;
+* **recall floor** — degraded-mode recall never falls more than the
+  configured floor below the healthy run's recall;
+* **replica op-log prefix consistency** — every live replica of every
+  shard has applied exactly the shard's full op log (none ahead, none
+  behind), and all replicas of a shard answer probes bit-identically.
+
+Example::
+
+    >>> report = OracleReport("demo", True, "all clear")
+    >>> report.ok
+    True
+    >>> summarize([report])
+    (1, 0)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+if t.TYPE_CHECKING:
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.runner import ClusterReplayer
+    from repro.obs import RunTelemetry
+    from repro.serve import ServeResult
+
+
+@dataclasses.dataclass(frozen=True)
+class OracleReport:
+    """One invariant's verdict over one chaos run."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{'PASS' if self.ok else 'FAIL'} {self.name}: {self.detail}"
+
+
+def summarize(reports: t.Sequence[OracleReport]) -> tuple[int, int]:
+    """(passed, failed) counts over a battery of reports."""
+    passed = sum(1 for r in reports if r.ok)
+    return passed, len(reports) - passed
+
+
+# -- query conservation -----------------------------------------------------
+
+def check_conservation(result: "ServeResult") -> OracleReport:
+    """admitted == completed + failed + shed, per tenant and total."""
+    problems = []
+    if result.arrivals != result.admitted + result.rejected:
+        problems.append(
+            f"total arrivals {result.arrivals} != admitted "
+            f"{result.admitted} + rejected {result.rejected}")
+    if result.admitted != (result.completed + result.failed
+                           + result.shed):
+        problems.append(
+            f"total admitted {result.admitted} != completed "
+            f"{result.completed} + failed {result.failed} + shed "
+            f"{result.shed}")
+    for ten in result.tenants:
+        if ten.arrivals != ten.admitted + ten.rejected:
+            problems.append(f"tenant {ten.name}: arrival imbalance")
+        if ten.admitted != ten.completed + ten.failed + ten.shed:
+            problems.append(f"tenant {ten.name}: admission imbalance")
+    detail = ("; ".join(problems) if problems else
+              f"{result.arrivals} arrivals fully accounted "
+              f"({result.completed} completed, {result.failed} failed, "
+              f"{result.shed} shed, {result.rejected} rejected)")
+    return OracleReport("query_conservation", not problems, detail)
+
+
+# -- failure attribution ----------------------------------------------------
+
+def check_attribution(result: "ServeResult",
+                      replayer: "ClusterReplayer",
+                      telemetry: "RunTelemetry | None" = None,
+                      ) -> OracleReport:
+    """Server stats, coordinator ledger, telemetry counters agree."""
+    causes = dict(sorted(replayer.failure_causes.items()))
+    attributed = sum(causes.values())
+    unanswered = sum(1 for o in replayer.outcomes
+                     if not o.completed_shards)
+    problems = []
+    if result.failed != attributed:
+        problems.append(
+            f"server counted {result.failed} failures but the "
+            f"coordinator attributed {attributed}")
+    if unanswered != attributed:
+        problems.append(
+            f"per-query outcomes show {unanswered} unanswered queries "
+            f"but {attributed} were attributed")
+    if telemetry is not None:
+        from repro.cluster.runner import FAILURE_CAUSES
+        counted = {
+            kind: telemetry.counters[f"cluster_failed_{kind}"].value
+            for kind in FAILURE_CAUSES
+            if f"cluster_failed_{kind}" in telemetry.counters}
+        if counted != causes:
+            problems.append(
+                f"telemetry counters {counted} != coordinator "
+                f"ledger {causes}")
+    detail = ("; ".join(problems) if problems else
+              (f"{attributed} failures reconciled across three "
+               f"ledgers ({causes})" if attributed else
+               "no failures; all ledgers empty"))
+    return OracleReport("failure_attribution", not problems, detail)
+
+
+# -- bitwise search fingerprints --------------------------------------------
+
+def cluster_fingerprint(cluster: "Cluster", name: str,
+                        queries: np.ndarray, k: int = 10,
+                        ) -> list[tuple[bytes, bytes]]:
+    """Bitwise (ids, dists) of a scatter-gather probe batch."""
+    return [(r.ids.tobytes(), r.dists.tobytes())
+            for r in cluster.search_batch(name, queries, k)]
+
+
+def engine_fingerprint(engine, name: str, queries: np.ndarray,
+                       k: int = 10) -> list[tuple[bytes, bytes]]:
+    """Bitwise (ids, dists) of one engine's local probe batch."""
+    return [(r.ids.tobytes(), r.dists.tobytes())
+            for r in engine.search_batch(name, queries, k)]
+
+
+def check_convergence(chaos_prints: list, fresh_prints: list,
+                      ) -> OracleReport:
+    """Post-chaos answers bit-identical to a never-faulted build."""
+    ok = chaos_prints == fresh_prints
+    mismatches = sum(1 for a, b in zip(chaos_prints, fresh_prints)
+                     if a != b)
+    detail = (f"{len(chaos_prints)} probes bit-identical to the fresh "
+              f"build" if ok else
+              f"{mismatches}/{len(chaos_prints)} probes diverge from "
+              f"the fresh build")
+    return OracleReport("post_chaos_convergence", ok, detail)
+
+
+def check_crash_state(state: str) -> OracleReport:
+    """A crashed save recovered to old or new, never a hybrid."""
+    ok = state in ("old", "new")
+    return OracleReport(
+        "crash_old_or_new", ok,
+        f"recovered search state is committed-{state}" if ok else
+        f"recovered search state is {state.upper()} — torn commit")
+
+
+# -- recall floor -----------------------------------------------------------
+
+def check_recall_floor(chaos_recall: float | None,
+                       healthy_recall: float | None,
+                       floor: float = 0.05) -> OracleReport:
+    """Degraded recall within *floor* of the healthy run's recall."""
+    if chaos_recall is None or healthy_recall is None:
+        return OracleReport("recall_floor", True,
+                            "no ground truth; vacuously holds")
+    drop = healthy_recall - chaos_recall
+    ok = drop <= floor + 1e-12
+    return OracleReport(
+        "recall_floor", ok,
+        f"recall {chaos_recall:.4f} vs healthy {healthy_recall:.4f} "
+        f"(drop {max(drop, 0.0):.4f} {'<=' if ok else '>'} floor "
+        f"{floor:.2f})")
+
+
+# -- replica consistency ----------------------------------------------------
+
+def check_replica_consistency(cluster: "Cluster", name: str,
+                              queries: np.ndarray, k: int = 10,
+                              ) -> OracleReport:
+    """Every live replica applied the full op log and answers alike.
+
+    The prefix property: replicas only ever apply the shard log in
+    order, so equal applied-op counts mean equal prefixes; requiring
+    the count to equal the full log length means no replica is lagging.
+    The bitwise probe comparison then confirms the states really are
+    interchangeable, not merely equally long.
+    """
+    problems = []
+    for shard in sorted(cluster.routing):
+        expect = cluster.oplog_len(shard)
+        prints = []
+        for node in cluster.routing[shard]:
+            applied = cluster.applied[node]
+            if applied != expect:
+                problems.append(
+                    f"shard {shard} replica on node {node} applied "
+                    f"{applied}/{expect} ops")
+            prints.append(engine_fingerprint(
+                cluster.engine_for(node), name, queries, k))
+        if any(p != prints[0] for p in prints[1:]):
+            problems.append(
+                f"shard {shard} replicas answer differently")
+    detail = ("; ".join(problems) if problems else
+              f"{sum(len(n) for n in cluster.routing.values())} "
+              f"replicas at full op-log prefix, probes bit-identical")
+    return OracleReport("replica_consistency", not problems, detail)

@@ -1,0 +1,204 @@
+"""Composed chaos schedules: every fault plane on one seeded timeline.
+
+A :class:`ChaosSchedule` bundles one instance of each fault plane the
+repo knows — node kills (:class:`~repro.faults.NodeFaultPlan`), network
+partitions (:class:`~repro.faults.PartitionPlan`), gray failures
+(:class:`~repro.faults.GrayPlan`), per-node SSD fault windows
+(:class:`~repro.faults.FaultPlan`), and a write-path crash
+(:class:`~repro.faults.CrashPlan`) — into one immutable value that the
+chaos harness injects *concurrently* against a serving cluster.  Every
+plane is independently deterministic, so the composed schedule is too:
+same schedule + same workload = bit-identical run.
+
+The schedule is also the unit the delta-debugging shrinker
+(:mod:`repro.chaos.shrink`) operates on: :meth:`elements` flattens it
+into atomic fault elements and :meth:`with_elements` rebuilds a
+sub-schedule from any subset, so ddmin can search the subset lattice
+for a minimal invariant-violating reproducer.
+
+Example::
+
+    >>> sched = ChaosSchedule.seeded(n_nodes=4, duration_s=1.0, seed=7)
+    >>> sched.empty
+    False
+    >>> sub = sched.with_elements(sched.elements()[:1])
+    >>> len(sub.elements())
+    1
+    >>> ChaosSchedule().empty          # the passive schedule
+    True
+    >>> ChaosSchedule.seeded(4, 1.0, seed=7) == sched   # reproducible
+    True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from repro.errors import WorkloadError
+from repro.faults.crash import CrashPlan
+from repro.faults.gray import GrayFailure, GrayPlan
+from repro.faults.nodes import NodeFaultPlan, NodeKill
+from repro.faults.partition import PartitionPlan, PartitionWindow
+from repro.faults.plan import (FaultPlan, FaultWindow, LatencySpike,
+                               ReadError, _unit)
+
+#: One atomic fault in a flattened schedule: (plane tag, payload).
+ChaosElement = t.Tuple[str, t.Any]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosSchedule:
+    """Every fault plane composed on one timeline, as pure data.
+
+    ``device_faults`` holds ``(node id, fault window)`` pairs;
+    :meth:`device_plans` groups them per node and folds in the SSD-side
+    half of each gray failure (a bandwidth throttle for the gray
+    window), producing the per-node :class:`~repro.faults.FaultPlan`
+    map the cluster replay layer consumes.
+    """
+
+    node_faults: NodeFaultPlan = NodeFaultPlan()
+    partitions: PartitionPlan = PartitionPlan()
+    grays: GrayPlan = GrayPlan()
+    device_faults: tuple[tuple[int, FaultWindow], ...] = ()
+    crash: CrashPlan | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "device_faults",
+                           tuple(self.device_faults))
+        for entry in self.device_faults:
+            node, window = entry
+            if node < 0 or not isinstance(window, FaultWindow):
+                raise WorkloadError(
+                    f"bad device-fault entry: {entry!r}")
+
+    @classmethod
+    def seeded(cls, n_nodes: int, duration_s: float, *, seed: int = 0,
+               kills: int = 1, outage_s: float = 0.05,
+               partitions: int = 1, grays: int = 1,
+               gray_slowdown: float = 8.0, device_nodes: int = 1,
+               crash: bool = False) -> "ChaosSchedule":
+        """Draw a composed schedule from one seed.
+
+        Each plane samples its victims and windows through the shared
+        splitmix64 unit sampler on distinct lanes, so the planes are
+        decorrelated but jointly reproducible.  ``crash=True`` adds a
+        crash plan at the snapshot manifest commit point — the
+        crash-during-compaction case the durability oracle checks.
+        """
+        if n_nodes <= 0 or duration_s <= 0:
+            raise WorkloadError("bad seeded-schedule parameters")
+        node_faults = (NodeFaultPlan.seeded(
+            n_nodes, duration_s, kills=kills, outage_s=outage_s,
+            seed=seed) if kills else NodeFaultPlan(seed=seed))
+        partition_plan = (PartitionPlan.seeded(
+            n_nodes, duration_s, partitions=partitions,
+            outage_s=outage_s, seed=seed)
+            if partitions else PartitionPlan(seed=seed))
+        gray_plan = (GrayPlan.seeded(
+            n_nodes, duration_s, grays=grays, outage_s=2 * outage_s,
+            slowdown=gray_slowdown, seed=seed)
+            if grays else GrayPlan(seed=seed))
+        device_faults: list[tuple[int, FaultWindow]] = []
+        span = max(duration_s - outage_s, 1e-9)
+        for i in range(device_nodes):
+            victim = int(_unit(seed, 6, i) * n_nodes) % n_nodes
+            start = _unit(seed, 7, i) * span
+            device_faults.append((victim, LatencySpike(
+                start, start + outage_s, extra_s=0.002)))
+            device_faults.append((victim, ReadError(
+                start, start + outage_s, probability=0.05,
+                stall_s=0.01)))
+        crash_plan = (CrashPlan.of("save.manifest.write")
+                      if crash else None)
+        return cls(node_faults, partition_plan, gray_plan,
+                   tuple(device_faults), crash_plan, seed)
+
+    @property
+    def empty(self) -> bool:
+        """True when no plane schedules anything (the passive case)."""
+        return (self.node_faults.empty and self.partitions.empty
+                and self.grays.empty and not self.device_faults
+                and self.crash is None)
+
+    @property
+    def end_s(self) -> float:
+        """When the last timed fault window closes."""
+        return max(self.node_faults.end_s, self.partitions.end_s,
+                   self.grays.end_s,
+                   max((w.end_s for _n, w in self.device_faults),
+                       default=0.0))
+
+    def device_plans(self) -> dict[int, FaultPlan]:
+        """Per-node SSD fault plans: explicit windows + gray throttles."""
+        nodes = {node for node, _w in self.device_faults}
+        nodes |= {gray.node for gray in self.grays.grays}
+        plans: dict[int, FaultPlan] = {}
+        for node in sorted(nodes):
+            windows = tuple(w for n, w in self.device_faults
+                            if n == node)
+            windows += self.grays.device_plan(node).windows
+            plans[node] = FaultPlan(windows, self.seed)
+        return plans
+
+    # -- the shrinker's view ----------------------------------------------
+
+    def elements(self) -> list[ChaosElement]:
+        """Flatten the schedule into atomic fault elements."""
+        out: list[ChaosElement] = []
+        out += [("kill", k) for k in self.node_faults.kills]
+        out += [("partition", w) for w in self.partitions.windows]
+        out += [("gray", g) for g in self.grays.grays]
+        out += [("device", entry) for entry in self.device_faults]
+        if self.crash is not None:
+            out.append(("crash", self.crash))
+        return out
+
+    def with_elements(self,
+                      elements: t.Sequence[ChaosElement],
+                      ) -> "ChaosSchedule":
+        """Rebuild a (sub-)schedule from a subset of elements.
+
+        Seeds are preserved, so a sub-schedule's surviving fault
+        windows behave exactly as they did in the full schedule —
+        the property ddmin needs to shrink soundly.
+        """
+        kills: list[NodeKill] = []
+        partitions: list[PartitionWindow] = []
+        grays: list[GrayFailure] = []
+        device: list[tuple[int, FaultWindow]] = []
+        crash: CrashPlan | None = None
+        for tag, payload in elements:
+            if tag == "kill":
+                kills.append(payload)
+            elif tag == "partition":
+                partitions.append(payload)
+            elif tag == "gray":
+                grays.append(payload)
+            elif tag == "device":
+                device.append(payload)
+            elif tag == "crash":
+                crash = payload
+            else:
+                raise WorkloadError(f"unknown chaos element: {tag!r}")
+        return ChaosSchedule(
+            NodeFaultPlan(tuple(kills), self.node_faults.seed),
+            PartitionPlan(tuple(partitions), self.partitions.seed),
+            GrayPlan(tuple(grays), self.grays.seed),
+            tuple(device), crash, self.seed)
+
+    def describe(self) -> dict[str, t.Any]:
+        """The schedule as plain data (reports, serialization)."""
+        return {
+            "kills": self.node_faults.describe(),
+            "partitions": self.partitions.describe(),
+            "grays": self.grays.describe(),
+            "device_faults": [
+                dict(node=node, kind=w.kind, **dataclasses.asdict(w))
+                for node, w in self.device_faults],
+            "crash": (dataclasses.asdict(self.crash)
+                      if self.crash is not None else None),
+            "seed": self.seed,
+        }

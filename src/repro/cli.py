@@ -9,6 +9,7 @@ Examples::
     repro prefetch -d cohere-1m    # cache-policy + prefetch study
     repro serve -d cohere-1m       # open-loop serving study
     repro cluster -d cohere-1m     # distributed cluster study
+    repro chaos --quick            # composed faults + self-healing
     repro faults -d cohere-1m      # fault-injection + resilience study
     repro recover --quick          # crash/corruption recovery matrix
     repro study -o report.txt      # everything, with observation checks
@@ -172,6 +173,17 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         seed=args.seed, quick=args.quick,
         progress=lambda m: print(f"[cluster] {m}", file=sys.stderr))
     print(report.render_cluster_study(data))
+    return 0 if all(data["verdicts"].values()) else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.study import chaos_study
+    duration = min(args.duration, 0.25) if args.quick else args.duration
+    data = chaos_study(
+        args.dataset, index=args.index, duration_s=duration,
+        seed=args.seed, quick=args.quick,
+        progress=lambda m: print(f"[chaos] {m}", file=sys.stderr))
+    print(report.render_chaos_study(data))
     return 0 if all(data["verdicts"].values()) else 1
 
 
@@ -350,6 +362,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="placement/jitter/kill seed (default 0)")
     p.set_defaults(fn=cmd_cluster)
+
+    p = sub.add_parser(
+        "chaos",
+        help="chaos study: composed fault schedules, self-healing "
+             "supervisor, invariant oracles, schedule shrinking "
+             "(beyond the paper)")
+    p.add_argument("-d", "--dataset", default="cohere-1m",
+                   choices=DATASET_NAMES)
+    p.add_argument("--index", default="diskann",
+                   help="index kind on every node (default diskann)")
+    p.add_argument("--quick", action="store_true",
+                   help="shorter serving window (CI smoke)")
+    p.add_argument("--duration", type=float, default=0.4,
+                   help="simulated seconds per chaos run (default 0.4)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="schedule + arrival-timeline seed (default 0)")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "faults",

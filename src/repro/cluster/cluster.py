@@ -24,6 +24,7 @@ shared simulation kernel.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import json
 import typing as t
@@ -106,6 +107,10 @@ class Cluster:
         #: during migration (same ops + same seed = identical engine).
         self._oplog: dict[int, list[tuple[t.Any, ...]]] = {
             s: [] for s in range(topology.n_shards)}
+        #: Ops applied per node, for the chaos layer's op-log prefix
+        #: consistency oracle: every live replica of a shard must have
+        #: applied exactly the shard's full log.
+        self.applied: t.Counter[int] = collections.Counter()
 
     # -- collection lifecycle ---------------------------------------------
 
@@ -305,6 +310,11 @@ class Cluster:
                else meta.dim)
         return rows * dim * 4
 
+    def oplog_len(self, shard: int) -> int:
+        """Ops issued to *shard* so far (the op-log prefix length)."""
+        self.topology._check_shard(shard)
+        return len(self._oplog[shard])
+
     def move_replica(self, shard: int, replica: int,
                      to_node: int) -> None:
         """Rebuild one shard replica on *to_node* and cut routing over.
@@ -335,6 +345,9 @@ class Cluster:
         engine = self.engine_for(from_node)
         for name in list(engine.list_collections()):
             engine.drop_collection(name)
+        # The vacated node is a clean slate again (it may rejoin the
+        # spare pool); its applied-op count restarts with it.
+        self.applied[from_node] = 0
 
     # -- persistence ------------------------------------------------------
 
@@ -406,6 +419,7 @@ class Cluster:
                            in manifest["routing"].items()}
         cluster._collections = {}
         cluster._oplog = {s: [] for s in range(topology.n_shards)}
+        cluster.applied = collections.Counter()
         for entry in manifest["collections"]:
             spec = IndexSpec.of(entry["index_kind"], entry["metric"],
                                 **entry["index_params"])
@@ -430,6 +444,7 @@ class Cluster:
     def _apply(self, node_id: int, op: tuple[t.Any, ...]) -> t.Any:
         """Apply one op-log entry to one node's engine."""
         engine = self.engine_for(node_id)
+        self.applied[node_id] += 1
         kind = op[0]
         if kind == "create":
             _, name, dim, index_spec, storage_dim = op

@@ -19,6 +19,17 @@ each query out across the shards and merges the replies:
   kernel's :class:`~repro.simkernel.events.Race` primitive;
 * :class:`~repro.faults.NodeFaultPlan` kill windows abandon in-flight
   sub-queries, driving failover to the next live replica;
+* :class:`~repro.faults.PartitionPlan` windows drop messages crossing
+  a partition cut and :class:`~repro.faults.GrayPlan` windows stretch
+  a slow-but-alive node's hops (see :meth:`ClusterReplayer.hop`);
+  per-node SSD :class:`~repro.faults.FaultPlan` schedules and a
+  :class:`~repro.faults.ResiliencePolicy` arm the node-local read
+  path — together these are the injection surface of ``repro.chaos``;
+* every failed coordinator query is attributed to the first fault
+  kind (in :data:`FAILURE_CAUSES` order) that touched its gather, and
+  the per-kind ledger (:attr:`ClusterReplayer.failure_causes`) must
+  reconcile with server stats and telemetry counters — the chaos
+  study's three-ledger audit;
 * a partial-result deadline lets the coordinator answer from the shards
   that made it, reporting completion-weighted recall for the rest;
 * :meth:`ClusterReplaySession.migrate` streams a shard replica to a
@@ -45,7 +56,12 @@ from repro.engines.engine import CONSISTENCY_LEVELS, VectorEngine
 from repro.engines.profiles import PAPER_CPU_CORES
 from repro.errors import (ClusterError, DegradedResult, FaultError,
                           OutOfMemoryError, WorkloadError)
+from repro.faults.gray import GrayPlan
+from repro.faults.injector import FaultInjector
 from repro.faults.nodes import NodeFaultPlan
+from repro.faults.partition import PartitionPlan
+from repro.faults.plan import FaultPlan
+from repro.faults.resilience import ResiliencePolicy
 from repro.obs import RunTelemetry
 from repro.simkernel import Environment, Network, Resource
 from repro.storage.device import SimSSD
@@ -67,6 +83,14 @@ _SHARD_SEGMENT_BASE = 1024
 #: hardware; the merge is measurable but never dominant, which the
 #: scatter-gather overhead metric in ``BENCH_7.json`` quantifies.
 _MERGE_CPU_PER_CANDIDATE_S = 25e-9
+
+#: Fault kinds a failed coordinator query can be attributed to, most
+#: specific first: when several fault planes touched the same query,
+#: the ledger charges the first kind in this order (the chaos study's
+#: three-ledger reconciliation depends on the choice being total and
+#: deterministic).
+FAILURE_CAUSES = ("node_kill", "partition", "device", "gray",
+                  "deadline", "unknown")
 
 
 @dataclasses.dataclass
@@ -124,6 +148,9 @@ class _QueryOutcome:
     index: int
     completed_shards: tuple[int, ...]
     partial: bool
+    #: Fault kinds that touched this query's gather (empty = clean);
+    #: for a failed query the first entry is the attributed cause.
+    causes: tuple[str, ...] = ()
 
 
 class ClusterReplayer:
@@ -143,7 +170,9 @@ class ClusterReplayer:
                  consistency: str = "one",
                  hedge_after_s: float | None = None,
                  deadline_s: float | None = None,
-                 telemetry: RunTelemetry | None = None) -> None:
+                 telemetry: RunTelemetry | None = None,
+                 partitions: PartitionPlan | None = None,
+                 grays: GrayPlan | None = None) -> None:
         if consistency not in CONSISTENCY_LEVELS:
             raise ClusterError(
                 f"unknown consistency {consistency!r}; expected one of "
@@ -164,8 +193,17 @@ class ClusterReplayer:
         self.hedge_after_s = hedge_after_s
         self.deadline_s = deadline_s
         self.telemetry = telemetry
+        #: Network partitions dropping boundary-crossing messages.
+        self.partitions = (partitions if partitions is not None
+                           else PartitionPlan())
+        #: Gray failures stretching a slow node's hops.
+        self.grays = grays if grays is not None else GrayPlan()
         #: Scatter-gather event counts (fanout, hedges, failovers, ...).
         self.ccounts: collections.Counter[str] = collections.Counter()
+        #: Failed queries by attributed fault kind (the injection-side
+        #: half of the chaos three-ledger reconciliation).
+        self.failure_causes: collections.Counter[str] = \
+            collections.Counter()
         #: Per-completed-query gather outcomes, in completion order.
         self.outcomes: list[_QueryOutcome] = []
         self._issue = 0   # coordinator issue ordinal (replica rotation)
@@ -186,21 +224,59 @@ class ClusterReplayer:
 
     # -- per-node sub-query ------------------------------------------------
 
+    def hop(self, src: int, dst: int, causes: set | None = None):
+        """One chaos-aware one-way hop; returns True when delivered.
+
+        The message always pays the interconnect latency.  A gray
+        endpoint then stretches the transit by its slowdown factor; a
+        partition severing the hop drops the message *after* it paid
+        the wire (the bytes left, nobody received them) and the hop
+        returns False.  With empty partition/gray plans this is
+        event-for-event identical to a bare ``network.transfer`` —
+        the passivity tests assert it.
+        """
+        env = self.env
+        sent = env.now
+        ordinal = self.network.messages
+        yield self.network.transfer(src, dst)
+        slow = max(self.grays.slowdown(src, sent),
+                   self.grays.slowdown(dst, sent))
+        if slow > 1.0:
+            yield env.timeout((slow - 1.0) * (env.now - sent))
+            self._note("gray_delays")
+            if causes is not None:
+                causes.add("gray")
+        if self.partitions.dropped(src, dst, sent, ordinal):
+            self._note("partition_drops")
+            if causes is not None:
+                causes.add("partition")
+            return False
+        return True
+
     def _node_query(self, node: int, splan: CompiledQuery, view,
-                    fixed_cpu: float, outcome: list):
+                    fixed_cpu: float, outcome: list,
+                    causes: set | None = None):
         """One request/reply round trip to one replica node.
 
         Sets ``outcome[0]`` when the reply makes it back; a node that is
         dead on arrival — or dies before the sub-query finishes — never
         answers, and the process just ends (the RPC is lost, exactly
-        like a crashed server).
+        like a crashed server).  A partition can eat either direction of
+        the round trip; a replica whose own read path failed permanently
+        (device faults beat its resilience policy) answers an error,
+        which the coordinator treats as no answer.  Every way the round
+        trip can die records its fault kind in *causes*.
         """
         env, coord = self.env, self.topology.coordinator
         hop = env.now
-        yield self.network.transfer(coord, node)
+        delivered = yield from self.hop(coord, node, causes)
         if view is not None:
             view.add_stage("network", env.now - hop)
+        if not delivered:
+            return
         if self.node_faults.dead(node, env.now):
+            if causes is not None:
+                causes.add("node_kill")
             return
         sub = env.process(self.node_replayers[node].query_proc(
             splan, view, fixed_cpu))
@@ -210,15 +286,25 @@ class ClusterReplayer:
         else:
             winner = yield env.race([sub, env.timeout(death_at - env.now)])
             if winner == 1:
+                if causes is not None:
+                    causes.add("node_kill")
                 return
+        if sub.value:
+            self._note("replica_errors")
+            if causes is not None:
+                causes.add("device")
+            return
         hop = env.now
-        yield self.network.transfer(node, coord)
+        delivered = yield from self.hop(node, coord, causes)
         if view is not None:
             view.add_stage("network", env.now - hop)
+        if not delivered:
+            return
         outcome[0] = True
 
     def _slot_proc(self, shard: int, splan: CompiledQuery, view,
-                   fixed_cpu: float, claim, successes):
+                   fixed_cpu: float, claim, successes,
+                   causes: set | None = None):
         """Get one replica answer for *shard*, failing over on death.
 
         *claim* hands out the next live, unclaimed replica in rotation
@@ -235,7 +321,7 @@ class ClusterReplayer:
                 return
             outcome = [False]
             nq = env.process(self._node_query(node, splan, view,
-                                              fixed_cpu, outcome))
+                                              fixed_cpu, outcome, causes))
             hedge: tuple | None = None
             if self.hedge_after_s is not None:
                 winner = yield env.race(
@@ -246,7 +332,8 @@ class ClusterReplayer:
                         self._note("hedges")
                         hout = [False]
                         hedge = (env.process(self._node_query(
-                            backup, splan, view, fixed_cpu, hout)), hout)
+                            backup, splan, view, fixed_cpu, hout,
+                            causes)), hout)
             if hedge is None:
                 yield nq
                 if outcome[0]:
@@ -272,7 +359,8 @@ class ClusterReplayer:
             self._note("failovers")
 
     def _shard_proc(self, shard: int, splan: CompiledQuery, view,
-                    fixed_cpu: float, ordinal: int, successes):
+                    fixed_cpu: float, ordinal: int, successes,
+                    causes: set | None = None):
         """Gather this shard's answers at the session's consistency."""
         env = self.env
         replicas = self.routing[shard]
@@ -283,10 +371,14 @@ class ClusterReplayer:
 
         def claim() -> int | None:
             for node in rotation:
-                if node not in taken and not self.node_faults.dead(
-                        node, env.now):
-                    taken.append(node)
-                    return node
+                if node in taken:
+                    continue
+                if self.node_faults.dead(node, env.now):
+                    if causes is not None:
+                        causes.add("node_kill")
+                    continue
+                taken.append(node)
+                return node
             return None
 
         need = self._need(shard)
@@ -294,7 +386,7 @@ class ClusterReplayer:
             self._note("quorum_waits")
         yield env.all_of([
             env.process(self._slot_proc(shard, splan, view, fixed_cpu,
-                                        claim, successes))
+                                        claim, successes, causes))
             for _ in range(need)])
 
     # -- the coordinator query ---------------------------------------------
@@ -312,6 +404,7 @@ class ClusterReplayer:
         env, profile = self.env, self.profile
         ordinal = self._issue
         self._issue += 1
+        causes: set[str] = set()
         if profile.rpc_s:
             yield env.timeout(profile.rpc_s / 2)
             if span is not None:
@@ -323,7 +416,7 @@ class ClusterReplayer:
             view = _ShardSpanView(span, shard) if span is not None else None
             procs.append(env.process(self._shard_proc(
                 shard, plan.shard_plans[shard], view, fixed_cpu, ordinal,
-                successes)))
+                successes, causes)))
         self._note("fanout", n_shards)
         gather = env.all_of(procs)
         if self.deadline_s is None:
@@ -332,13 +425,21 @@ class ClusterReplayer:
             winner = yield env.race([gather, env.timeout(self.deadline_s)])
             if winner == 1:
                 self._note("partial_results")
+                causes.add("deadline")
         completed = tuple(s for s in range(n_shards)
                           if successes[s] >= self._need(s))
         missed = n_shards - len(completed)
         if missed:
             self._note("shards_missed", missed)
         if not completed:
-            self.outcomes.append(_QueryOutcome(plan.index, (), True))
+            cause = next((c for c in FAILURE_CAUSES if c in causes),
+                         "unknown")
+            self.failure_causes[cause] += 1
+            self._note(f"failed_{cause}")
+            ordered = (cause,) + tuple(
+                c for c in FAILURE_CAUSES if c in causes and c != cause)
+            self.outcomes.append(_QueryOutcome(plan.index, (), True,
+                                               ordered))
             return True
         merge_s = _MERGE_CPU_PER_CANDIDATE_S * sum(
             len(plan.shard_found[s][0]) for s in completed)
@@ -350,8 +451,9 @@ class ClusterReplayer:
             yield env.timeout(profile.rpc_s / 2)
             if span is not None:
                 span.add_stage("rpc", profile.rpc_s / 2)
-        self.outcomes.append(_QueryOutcome(plan.index, completed,
-                                           missed > 0))
+        self.outcomes.append(_QueryOutcome(
+            plan.index, completed, missed > 0,
+            tuple(c for c in FAILURE_CAUSES if c in causes)))
         return False
 
 
@@ -502,8 +604,21 @@ class ClusterBenchRunner:
                     consistency: str = "one",
                     hedge_after_s: float | None = None,
                     deadline_s: float | None = None,
+                    partitions: PartitionPlan | None = None,
+                    grays: GrayPlan | None = None,
+                    device_faults: t.Mapping[int, FaultPlan] | None = None,
+                    resilience: ResiliencePolicy | None = None,
                     ) -> ClusterReplaySession:
-        """A fresh simulated cluster ready to replay the query set."""
+        """A fresh simulated cluster ready to replay the query set.
+
+        The chaos knobs compose with the baseline cluster faults:
+        ``partitions`` and ``grays`` shape the coordinator<->node hops,
+        ``device_faults`` attaches a per-node SSD
+        :class:`~repro.faults.FaultPlan` (keyed by node id) to that
+        node's device, and ``resilience`` arms every node replayer's
+        read-path defences against them.  All default to off and are
+        guaranteed passive when empty.
+        """
         params = dict(search_params or {})
         cold, warm, recall = self._compile(params)
         topo = self.topology
@@ -514,9 +629,12 @@ class ClusterBenchRunner:
         pool_size = getattr(profile, "diskann_pool", 0)
         devices, node_cores, pools, node_replayers = [], [], [], []
         for node in range(topo.total_nodes):
+            plan = (device_faults or {}).get(node)
+            injector = (FaultInjector(plan, telemetry=telemetry)
+                        if plan is not None and not plan.empty else None)
             device = SimSSD(env, self.device_spec,
                             BlockTracer(enabled=False),
-                            telemetry=telemetry)
+                            telemetry=telemetry, injector=injector)
             cores = Resource(env, self.cores, name=f"node{node}_cores",
                              telemetry=telemetry)
             pool = (Resource(env, pool_size, name=f"node{node}_pool",
@@ -526,7 +644,8 @@ class ClusterBenchRunner:
             node_cores.append(cores)
             pools.append(pool)
             node_replayers.append(QueryReplayer(
-                env, device, cores, pool, profile, telemetry=telemetry))
+                env, device, cores, pool, profile, telemetry=telemetry,
+                resilience=resilience))
         coordinator_cores = Resource(env, self.cores,
                                      name="coordinator_cores",
                                      telemetry=telemetry)
@@ -537,7 +656,7 @@ class ClusterBenchRunner:
             env, topo, routing, network, node_replayers,
             coordinator_cores, profile, faults, consistency=consistency,
             hedge_after_s=hedge_after_s, deadline_s=deadline_s,
-            telemetry=telemetry)
+            telemetry=telemetry, partitions=partitions, grays=grays)
         return ClusterReplaySession(
             env=env, network=network, devices=devices,
             node_cores=node_cores, pools=pools, cores=coordinator_cores,
@@ -554,7 +673,11 @@ class ClusterBenchRunner:
             node_faults: NodeFaultPlan | None = None,
             consistency: str = "one",
             hedge_after_s: float | None = None,
-            deadline_s: float | None = None) -> RunResult:
+            deadline_s: float | None = None,
+            partitions: PartitionPlan | None = None,
+            grays: GrayPlan | None = None,
+            device_faults: t.Mapping[int, FaultPlan] | None = None,
+            resilience: ResiliencePolicy | None = None) -> RunResult:
         """One measured closed-loop run against the whole cluster.
 
         Mirrors :meth:`repro.workload.runner.BenchRunner.run`: N
@@ -588,7 +711,8 @@ class ClusterBenchRunner:
         session = self.open_replay(
             params, telemetry=telem, node_faults=node_faults,
             consistency=consistency, hedge_after_s=hedge_after_s,
-            deadline_s=deadline_s)
+            deadline_s=deadline_s, partitions=partitions, grays=grays,
+            device_faults=device_faults, resilience=resilience)
         env, replayer = session.env, session.replayer
         fixed_cpu = (profile.fixed_query_cpu_s
                      / min(concurrency, profile.batch_cap))
@@ -639,12 +763,16 @@ class ClusterBenchRunner:
         cluster_knobs = (node_faults is not None and not node_faults.empty
                          or consistency != "one"
                          or hedge_after_s is not None
-                         or deadline_s is not None)
+                         or deadline_s is not None
+                         or partitions is not None and not partitions.empty
+                         or grays is not None and not grays.empty
+                         or bool(device_faults))
         if cluster_knobs or state["failures"]:
             faults = {event: replayer.ccounts.get(event, 0)
                       for event in ("hedges", "hedge_wins", "failovers",
                                     "quorum_waits", "partial_results",
-                                    "shards_missed")}
+                                    "shards_missed", "partition_drops",
+                                    "gray_delays", "replica_errors")}
             faults["failed_queries"] = state["failures"]
             if partials:
                 faults["degraded"] = DegradedResult(

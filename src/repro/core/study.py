@@ -49,6 +49,13 @@ class StudyResults:
     #: the first dataset (see
     #: :func:`repro.cluster.study.cluster_study`).
     cluster: dict | None = None
+    #: The chaos study (beyond the paper): a composed fault schedule
+    #: (kills + partition + gray + SSD faults + crash) against the
+    #: replicated cluster, unsupervised and with the self-healing
+    #: supervisor, audited by the invariant-oracle battery, plus the
+    #: ddmin schedule shrinker (see
+    #: :func:`repro.chaos.study.chaos_study`).
+    chaos: dict | None = None
 
     @property
     def holds(self) -> dict[str, bool]:
@@ -120,6 +127,9 @@ def run_study(datasets: t.Sequence[str] = DATASET_NAMES,
     report("distributed cluster study")
     from repro.cluster.study import cluster_study
     cluster = cluster_study(datasets[0], progress=progress)
+    report("chaos study")
+    from repro.chaos.study import chaos_study
+    chaos = chaos_study(datasets[0], progress=progress)
     report("checking observations")
     checks = run_observation_checks(fig2, fig3, fig5, fig6, fig7_11,
                                     fig12_15)
@@ -128,4 +138,5 @@ def run_study(datasets: t.Sequence[str] = DATASET_NAMES,
         fig5=fig5, fig6=fig6, fig7_11=fig7_11, fig12_15=fig12_15,
         checks=checks,
         key_findings=observations.key_findings(checks),
-        resilience=resilience, serving=serving, cluster=cluster)
+        resilience=resilience, serving=serving, cluster=cluster,
+        chaos=chaos)

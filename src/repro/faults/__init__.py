@@ -15,6 +15,12 @@ host can do about it.  Three pieces:
 * :mod:`repro.faults.nodes` — :class:`NodeFaultPlan`: seeded node-kill
   windows that take whole cluster nodes down mid-query, driving the
   replica failover in :mod:`repro.cluster`;
+* :mod:`repro.faults.partition` — :class:`PartitionPlan`: seeded
+  network partitions dropping messages that cross a node-group cut
+  (the scatter-gather hops in :mod:`repro.cluster.runner` consult it);
+* :mod:`repro.faults.gray` — :class:`GrayPlan`: gray failures — nodes
+  that stay alive but run persistently slow, stretching their network
+  hops and (via a compiled device throttle) their SSD;
 * :mod:`repro.faults.crash` — the *write-path* attacks:
   :class:`CrashPlan`/:class:`CrashInjector` kill a durable save or WAL
   append at a declared crash point (optionally tearing the in-flight
@@ -32,8 +38,10 @@ full fault model are documented in ``docs/ARCHITECTURE.md``,
 
 from repro.faults.crash import (Corruption, CorruptionPlan, CrashInjector,
                                 CrashPlan)
+from repro.faults.gray import GrayFailure, GrayPlan
 from repro.faults.injector import FaultInjector
 from repro.faults.nodes import NodeFaultPlan, NodeKill
+from repro.faults.partition import PartitionPlan, PartitionWindow
 from repro.faults.plan import (FAULT_KINDS, FaultEffect, FaultPlan,
                                FaultWindow, LatencySpike, ReadError,
                                TailAmplification, Throttle)
@@ -50,9 +58,13 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultWindow",
+    "GrayFailure",
+    "GrayPlan",
     "LatencySpike",
     "NodeFaultPlan",
     "NodeKill",
+    "PartitionPlan",
+    "PartitionWindow",
     "PressureTracker",
     "ReadError",
     "ResiliencePolicy",

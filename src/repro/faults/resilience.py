@@ -8,7 +8,11 @@ deployment, naturally occurring) fault timeline:
   timeout the round is resubmitted after exponential backoff with
   deterministic jitter, re-sampling the fault (a transient stall almost
   never hits the retry too).  After ``max_retries`` resubmissions the
-  round fails with :class:`~repro.errors.FaultError`;
+  round fails with :class:`~repro.errors.FaultError`.  An optional
+  ``query_deadline_s`` makes the loop deadline-aware: a retry whose
+  backoff alone pushes it past the query's deadline is abandoned
+  immediately (``deadline_abandons``) instead of burning time on an
+  already-missed deadline;
 * **hedged reads** — after ``hedge_after_s`` (typically the healthy
   device's P99 round time) a duplicate of the round is submitted and
   the first completion wins, cutting per-request tail amplification;
@@ -57,6 +61,10 @@ class ResiliencePolicy:
     backoff_jitter: float = 0.5
     #: Submit a duplicate round after this delay; None disables hedging.
     hedge_after_s: float | None = None
+    #: Whole-query completion deadline; retries that provably cannot
+    #: finish before it are abandoned instead of scheduled (counted as
+    #: ``deadline_abandons``).  None disables the check.
+    query_deadline_s: float | None = None
     #: Enable parameter degradation under sustained pressure.
     degrade: bool = False
     #: Per-query latency above which a completion counts as pressure.
@@ -80,6 +88,10 @@ class ResiliencePolicy:
         if self.hedge_after_s is not None and self.hedge_after_s <= 0:
             raise WorkloadError(
                 f"hedge_after_s must be positive: {self.hedge_after_s}")
+        if self.query_deadline_s is not None and self.query_deadline_s <= 0:
+            raise WorkloadError(
+                f"query_deadline_s must be positive: "
+                f"{self.query_deadline_s}")
         if self.max_retries < 0:
             raise WorkloadError(f"max_retries < 0: {self.max_retries}")
         if (self.backoff_base_s < 0 or self.backoff_cap_s < 0
@@ -100,7 +112,8 @@ class ResiliencePolicy:
     def active(self) -> bool:
         """Whether any defence is switched on."""
         return (self.read_timeout_s is not None
-                or self.hedge_after_s is not None or self.degrade)
+                or self.hedge_after_s is not None
+                or self.query_deadline_s is not None or self.degrade)
 
     def backoff_s(self, attempt: int, token: int) -> float:
         """Backoff before resubmission *attempt* (1-based).

@@ -162,6 +162,17 @@ class RunTelemetry:
         (replica moves completed while serving)."""
         self.counter(f"cluster_{event}").inc(amount)
 
+    def on_chaos(self, event: str, amount: int = 1) -> None:
+        """Record chaos-layer events (see :mod:`repro.chaos`):
+        ``probes`` and ``probe_misses`` (supervisor health probing),
+        ``failures_detected`` (nodes declared failed after consecutive
+        probe misses), ``rereplications`` (shard replicas rebuilt onto
+        spares), ``scrubs`` and ``scrub_findings`` (durability scrubs
+        of rebuilt replicas), ``no_spare`` (recoveries skipped because
+        the spare pool ran dry), or ``unrecoverable`` (shards with no
+        live replica left to stream from)."""
+        self.counter(f"chaos_{event}").inc(amount)
+
     def on_durability(self, event: str, amount: int = 1) -> None:
         """Record durability actions (see :mod:`repro.durability`):
         ``saves``, ``loads``, ``records_written``, ``records_verified``,

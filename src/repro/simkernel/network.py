@@ -102,8 +102,12 @@ class Network:
     Hands out :class:`~repro.simkernel.events.Timeout` events for
     one-way hops, numbering messages internally so each transfer draws
     fresh deterministic jitter.  Purely a latency source: it never
-    reorders or drops messages (loss is the job of
-    :mod:`repro.faults` node-kill windows, which kill the *endpoint*).
+    reorders or drops messages itself — loss and slowdown live one
+    layer up, where :mod:`repro.faults` node-kill windows kill the
+    *endpoint*, :class:`~repro.faults.PartitionPlan` drops delivered
+    messages crossing a partition cut (keyed by this network's message
+    ordinals), and :class:`~repro.faults.GrayPlan` stretches a slow
+    node's hops (see :meth:`repro.cluster.runner.ClusterReplayer.hop`).
     """
 
     def __init__(self, env: "Environment", spec: NetworkSpec,

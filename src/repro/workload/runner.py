@@ -192,11 +192,18 @@ class QueryReplayer:
             self.note("hedge_wins")
         return True
 
-    def _resilient_read(self, payload, timing, span):
+    def _resilient_read(self, payload, timing, span, deadline_at=None):
         """A demand round under the resilience policy: retry with
         exponential backoff after each timeout.  Returns False when
         the original plus ``max_retries`` resubmissions all timed
-        out (the round failed permanently)."""
+        out (the round failed permanently).
+
+        ``deadline_at`` is the query's absolute completion deadline
+        (sim time) when the policy sets ``query_deadline_s``: a retry
+        whose backoff alone would start it at-or-after the deadline
+        provably cannot complete in time, so the round is abandoned
+        (``deadline_abandons``) instead of burning the budget of an
+        already-lost query."""
         env, resil = self.env, self.resilience
         attempt = 0
         while True:
@@ -215,9 +222,13 @@ class QueryReplayer:
                 self.note("read_failures")
                 return False
             attempt += 1
-            self.note("retries")
             backoff = resil.backoff_s(attempt, self._retry_token)
             self._retry_token += 1
+            if deadline_at is not None and env.now + backoff >= deadline_at:
+                self.note("deadline_abandons")
+                self.note("read_failures")
+                return False
+            self.note("retries")
             if backoff > 0:
                 yield env.timeout(backoff)
                 if span is not None:
@@ -226,7 +237,8 @@ class QueryReplayer:
     def _segment_proc(self, steps: list[CompiledStep], span=None,
                       seg: int = 0, cache_hits: int = 0,
                       prefetch: tuple[int, int] = (0, 0),
-                      failed: list | None = None):
+                      failed: list | None = None,
+                      deadline_at: float | None = None):
         env, device, cores = self.env, self.device, self.cores
         timing = span.segment(seg) if span is not None else None
         if timing is not None:
@@ -263,8 +275,8 @@ class QueryReplayer:
                         timing.prefetch_wait_s += env.now - waited_at
             else:
                 if self.resilient_reads:
-                    landed = yield from self._resilient_read(payload,
-                                                             timing, span)
+                    landed = yield from self._resilient_read(
+                        payload, timing, span, deadline_at)
                     if not landed:
                         # Permanent read failure: abandon this
                         # segment; the query is counted as failed.
@@ -297,6 +309,10 @@ class QueryReplayer:
         """
         env, profile, pool = self.env, self.profile, self.pool
         failed = [False]
+        resil = self.resilience
+        deadline_at = (env.now + resil.query_deadline_s
+                       if resil is not None
+                       and resil.query_deadline_s is not None else None)
         if profile.rpc_s:
             yield env.timeout(profile.rpc_s / 2)
             if span is not None:
@@ -319,7 +335,7 @@ class QueryReplayer:
             if parallel:
                 yield env.all_of([
                     env.process(self._segment_proc(steps, span, seg, hits,
-                                                   pf, failed))
+                                                   pf, failed, deadline_at))
                     for seg, (steps, hits, pf) in enumerate(
                         zip(plan.segments, plan.cache_hits,
                             plan.prefetch))])
@@ -328,7 +344,7 @@ class QueryReplayer:
                         zip(plan.segments, plan.cache_hits,
                             plan.prefetch)):
                     yield from self._segment_proc(steps, span, seg, hits,
-                                                  pf, failed)
+                                                  pf, failed, deadline_at)
                     if failed[0]:
                         break
         finally:
@@ -752,7 +768,8 @@ class BenchRunner:
                 faults["injected"] = injector.summary()
             if resil is not None:
                 for event in ("timeouts", "retries", "hedges",
-                              "hedge_wins", "read_failures"):
+                              "hedge_wins", "read_failures",
+                              "deadline_abandons"):
                     faults[event] = replayer.rcounts.get(event, 0)
                 faults["failed_queries"] = state.failures
                 if tracker is not None:

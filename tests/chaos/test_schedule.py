@@ -1,0 +1,112 @@
+"""ChaosSchedule: composition, flattening, seeding, device plans."""
+
+import pytest
+
+from repro.chaos import ChaosSchedule
+from repro.errors import WorkloadError
+from repro.faults.crash import CrashPlan
+from repro.faults.gray import GrayFailure, GrayPlan
+from repro.faults.nodes import NodeFaultPlan, NodeKill
+from repro.faults.partition import PartitionPlan, PartitionWindow
+from repro.faults.plan import LatencySpike, ReadError
+
+
+def composed():
+    return ChaosSchedule(
+        node_faults=NodeFaultPlan.of(NodeKill(0, 0.1, 0.3)),
+        partitions=PartitionPlan.of(PartitionWindow((1, 3), 0.2, 0.4)),
+        grays=GrayPlan.of(GrayFailure(1, 0.0, 0.2, slowdown=8.0)),
+        device_faults=((2, LatencySpike(0.1, 0.5, extra_s=0.001)),
+                       (2, ReadError(0.1, 0.5, probability=0.1,
+                                     stall_s=0.01))),
+        crash=CrashPlan.of("save.manifest.write"))
+
+
+class TestComposition:
+    def test_default_schedule_is_empty_and_passive(self):
+        sched = ChaosSchedule()
+        assert sched.empty
+        assert sched.elements() == []
+        assert sched.end_s == 0.0
+        assert sched.device_plans() == {}
+
+    def test_composed_schedule_flattens_every_plane(self):
+        sched = composed()
+        assert not sched.empty
+        tags = [tag for tag, _payload in sched.elements()]
+        assert tags == ["kill", "partition", "gray", "device",
+                        "device", "crash"]
+
+    def test_end_s_is_the_last_window_close(self):
+        assert composed().end_s == 0.5
+
+    def test_device_plans_fold_in_the_gray_throttle(self):
+        plans = composed().device_plans()
+        # Node 2 has the explicit windows; node 1 gets the SSD-side
+        # half of its gray failure (a throttle over the gray window).
+        assert set(plans) == {1, 2}
+        assert [w.kind for w in plans[2].windows] \
+            == ["latency_spike", "read_error"]
+        assert [w.kind for w in plans[1].windows] == ["throttle"]
+
+    def test_bad_device_entry_is_rejected(self):
+        with pytest.raises(WorkloadError):
+            ChaosSchedule(device_faults=((-1, LatencySpike(
+                0.0, 0.1, extra_s=0.001)),))
+        with pytest.raises(WorkloadError):
+            ChaosSchedule(device_faults=((0, "not a window"),))
+
+
+class TestElementsRoundTrip:
+    def test_with_all_elements_rebuilds_an_equal_schedule(self):
+        sched = composed()
+        assert sched.with_elements(sched.elements()) == sched
+
+    def test_subset_keeps_payloads_and_seeds(self):
+        sched = composed()
+        sub = sched.with_elements(sched.elements()[:2])
+        assert sub.node_faults.kills == sched.node_faults.kills
+        assert sub.partitions.windows == sched.partitions.windows
+        assert sub.grays.empty and not sub.device_faults
+        assert sub.crash is None
+        assert sub.node_faults.seed == sched.node_faults.seed
+        assert sub.seed == sched.seed
+
+    def test_unknown_element_tag_is_rejected(self):
+        with pytest.raises(WorkloadError):
+            ChaosSchedule().with_elements([("meteor", None)])
+
+
+class TestSeeded:
+    def test_same_seed_same_schedule(self):
+        a = ChaosSchedule.seeded(4, 1.0, seed=9, crash=True)
+        b = ChaosSchedule.seeded(4, 1.0, seed=9, crash=True)
+        assert a == b
+        assert not a.empty
+        assert a.crash is not None
+
+    def test_different_seeds_differ(self):
+        assert (ChaosSchedule.seeded(8, 1.0, seed=1)
+                != ChaosSchedule.seeded(8, 1.0, seed=2))
+
+    def test_plane_counts_follow_the_knobs(self):
+        sched = ChaosSchedule.seeded(6, 1.0, seed=3, kills=2,
+                                     partitions=1, grays=2,
+                                     device_nodes=2)
+        assert len(sched.node_faults.kills) == 2
+        assert len(sched.partitions.windows) == 1
+        assert len(sched.grays.grays) == 2
+        assert len(sched.device_faults) == 4     # spike + error per node
+        assert sched.crash is None
+
+    def test_bad_parameters_are_rejected(self):
+        with pytest.raises(WorkloadError):
+            ChaosSchedule.seeded(0, 1.0)
+        with pytest.raises(WorkloadError):
+            ChaosSchedule.seeded(4, 0.0)
+
+    def test_describe_is_plain_data(self):
+        desc = composed().describe()
+        assert desc["kills"][0]["node"] == 0
+        assert desc["crash"]["point"] == "save.manifest.write"
+        assert len(desc["device_faults"]) == 2

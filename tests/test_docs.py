@@ -42,13 +42,19 @@ DOCTESTED_MODULES = (
     "repro.mutate.delta",
     "repro.mutate.compactor",
     "repro.mutate.simproc",
+    "repro.faults.partition",
+    "repro.faults.gray",
+    "repro.chaos.schedule",
+    "repro.chaos.shrink",
+    "repro.chaos.oracles",
 )
 
 #: Markdown documents whose code blocks are executed.
 DOCUMENTS = ("README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
              "docs/FAULT_MODEL.md", "docs/DURABILITY.md",
              "docs/SERVING.md", "docs/BENCHMARKS.md",
-             "docs/CLUSTER.md", "docs/MUTABILITY.md")
+             "docs/CLUSTER.md", "docs/MUTABILITY.md",
+             "docs/CHAOS.md")
 
 #: Markdown files whose intra-repo links are checked.
 LINKED = sorted(str(p.relative_to(REPO)) for p in

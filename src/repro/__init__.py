@@ -20,6 +20,8 @@ Subpackages
   tombstones + background compaction (beyond the paper);
 - ``repro.chaos``    — composed fault schedules, a self-healing
   supervisor, invariant oracles, schedule shrinking (beyond the paper);
+- ``repro.tenancy``  — multi-tenant SLO autopilot: cost-priced quotas,
+  closed-loop quality control, tiered placement (beyond the paper);
 - ``repro.core``     — the study: figures, observation checks, reports.
 
 The architecture — how a query flows through these layers — is
@@ -37,10 +39,11 @@ from repro.ann.workprofile import SearchResult
 from repro.engines.engine import IndexSpec, SearchRequest, VectorEngine
 from repro.engines.payload import Filter
 from repro.faults import FaultPlan, ResiliencePolicy
-from repro.serve import ServeConfig, ServeResult, TenantLoad
+from repro.serve import ServeConfig, ServeResult, Tenant, TenantLoad
+from repro.tenancy import TenancyConfig, TenantProfile, TenantRegistry
 from repro.workload.setup import make_runner
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "BenchConfig",
@@ -60,7 +63,11 @@ __all__ = [
     "Session",
     "Supervisor",
     "SupervisorConfig",
+    "TenancyConfig",
+    "Tenant",
     "TenantLoad",
+    "TenantProfile",
+    "TenantRegistry",
     "VectorEngine",
     "__version__",
     "load_dataset",

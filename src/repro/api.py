@@ -43,6 +43,7 @@ if t.TYPE_CHECKING:
     from repro.faults import FaultPlan, NodeFaultPlan, ResiliencePolicy
     from repro.mutate import MutationLoad
     from repro.serve import ServeConfig, ServeResult
+    from repro.tenancy import TenancyConfig
 
 
 @t.runtime_checkable
@@ -83,7 +84,7 @@ class Deployment(t.Protocol):
     def save(self, path: str) -> None: ...
 
     def serve(self, name: str, queries: np.ndarray, config,
-              **options): ...
+              tenancy=None, **options): ...
 
 
 def open_engine(profile: EngineProfile | str = "milvus",
@@ -403,7 +404,8 @@ class Session:
     # -- serving ----------------------------------------------------------
 
     def serve(self, name: str, queries: np.ndarray,
-              config: "ServeConfig", *,
+              config: "ServeConfig",
+              tenancy: "TenancyConfig | None" = None, *,
               ground_truth: np.ndarray | None = None, k: int = 10,
               telemetry: RunTelemetry | bool | None = None,
               paper_n: int | None = None) -> "ServeResult":
@@ -434,11 +436,21 @@ class Session:
         ...     "d", rng.standard_normal((4, 8), dtype=np.float32), config)
         >>> result.completed > 0 and result.rejected == 0
         True
+
+        With *tenancy* set (a :class:`~repro.tenancy.TenancyConfig`)
+        the run is served by the multi-tenant SLO autopilot —
+        cost-priced admission, the closed quality loop, and tiered
+        placement (see ``docs/TENANCY.md``); ``tenancy.enabled=False``
+        is bit-identical to passing ``None``.
         """
         from repro.serve import Server
         runner = self.bench_runner(name, queries,
                                    ground_truth=ground_truth, k=k,
                                    paper_n=paper_n)
+        if tenancy is not None:
+            from repro.tenancy import serve_autopilot
+            return serve_autopilot(runner, config, tenancy,
+                                   telemetry=telemetry)
         return Server(runner, config, telemetry=telemetry).serve()
 
 
@@ -603,19 +615,27 @@ class ClusterSession:
     # -- serving ----------------------------------------------------------
 
     def serve(self, name: str, queries: np.ndarray,
-              config: "ServeConfig", *,
+              config: "ServeConfig",
+              tenancy: "TenancyConfig | None" = None, *,
               ground_truth: np.ndarray | None = None, k: int = 10,
               telemetry: RunTelemetry | bool | None = None,
               paper_n: int | None = None) -> "ServeResult":
         """One serving run with the coordinator behind the admission
         queue: arrivals, batching, and shedding come from
         :mod:`repro.serve` unchanged, each dispatched query fans out
-        across the shards.  See :meth:`Session.serve`.
+        across the shards.  See :meth:`Session.serve`.  With *tenancy*
+        set, the autopilot's quota and quality loops run over the
+        coordinator (tiered placement stays single-node and must be
+        left unset here).
         """
         from repro.serve import Server
         runner = self.bench_runner(name, queries,
                                    ground_truth=ground_truth, k=k,
                                    paper_n=paper_n)
+        if tenancy is not None:
+            from repro.tenancy import serve_autopilot
+            return serve_autopilot(runner, config, tenancy,
+                                   telemetry=telemetry)
         return Server(runner, config, telemetry=telemetry).serve()
 
     # -- chaos ------------------------------------------------------------

@@ -7,8 +7,12 @@ numbers gate the batched hot path:
 
 * **build time** per index kind,
 * **single-query QPS** (the sequential ``search`` loop),
-* **batch QPS** (``search_batch`` over the same query set), and
-* **sim-event throughput** of the discrete-event kernel.
+* **batch QPS** (``search_batch`` over the same query set),
+* **sim-event throughput** of the discrete-event kernel, and
+* **serve-path QPS** — the open-loop serving stack end to end
+  (arrival timeline, admission queue, batching, timing replay),
+  reporting both the simulated throughput and the wall-clock cost of
+  replaying it.
 
 Results are written as a schema-versioned JSON document
 (``BENCH_<pr>.json`` at the repo root; see ``docs/BENCHMARKS.md``).
@@ -41,7 +45,9 @@ from repro.simkernel import Environment
 #: Version of the BENCH_*.json document layout.  Bump when fields are
 #: added, removed, or change meaning; docs/BENCHMARKS.md describes each
 #: version.  Version 2 adds the ``cluster`` section (coordinator QPS vs
-#: shard count and the scatter-gather merge overhead).
+#: shard count and the scatter-gather merge overhead); newer v2
+#: documents (BENCH_10.json onward) also carry an *optional* ``serve``
+#: section (open-loop serve-path QPS), validated when present.
 BENCH_SCHEMA_VERSION = 2
 
 #: Document versions :func:`validate_bench` accepts.  Committed v1
@@ -197,6 +203,43 @@ def _bench_cluster(config: BenchConfig, seed: int) -> list[dict[str, t.Any]]:
     return rows
 
 
+def _bench_serve(config: BenchConfig, seed: int) -> dict[str, t.Any]:
+    """Open-loop serve-path QPS and the wall-clock cost of replaying it.
+
+    A flat-index collection served under Poisson load at ~70 % of its
+    probed closed-loop capacity: the whole serving stack runs (arrival
+    timeline, admission queue, batching, timing replay), so this is
+    the end-to-end cost of one simulated serving second — the number
+    the tenancy study's wall time is made of.
+    """
+    from repro.engines.engine import IndexSpec, VectorEngine
+    from repro.serve import (PoissonArrivals, ServeConfig, Server,
+                             TenantLoad)
+    from repro.workload.runner import BenchRunner
+
+    X, queries = _make_data(config, seed + 9)
+    engine = VectorEngine("milvus")
+    engine.create_collection("bench", config.dim,
+                             IndexSpec.of("flat", config.metric))
+    engine.insert("bench", X)
+    engine.flush("bench")
+    runner = BenchRunner(engine, "bench", queries, k=config.k)
+    probe = runner.run(8, {}, duration_s=0.2)
+    offered = 0.7 * probe.qps
+    serve_config = ServeConfig(
+        tenants=(TenantLoad("all", PoissonArrivals(rate_qps=offered)),),
+        max_inflight=8, duration_s=0.2, seed=seed, search_params={})
+    start = time.perf_counter()
+    result = Server(runner, serve_config).serve()
+    wall_s = max(time.perf_counter() - start, 1e-9)
+    return {"offered_qps": result.offered_qps,
+            "qps": result.qps,
+            "goodput_qps": result.goodput_qps,
+            "p99_latency_s": result.p99_latency_s,
+            "completed": result.completed,
+            "wall_s": wall_s}
+
+
 def run_bench(quick: bool = False, seed: int = 0) -> dict[str, t.Any]:
     """Run the whole suite; returns the schema-versioned document."""
     config = BenchConfig.quick() if quick else BenchConfig.full()
@@ -219,7 +262,8 @@ def run_bench(quick: bool = False, seed: int = 0) -> dict[str, t.Any]:
            "config": config.as_dict(),
            "results": results,
            "sim": _bench_sim(config),
-           "cluster": _bench_cluster(config, seed)}
+           "cluster": _bench_cluster(config, seed),
+           "serve": _bench_serve(config, seed)}
     validate_bench(doc)
     return doc
 
@@ -228,6 +272,8 @@ _RESULT_FIELDS = ("build_s", "single_qps", "batch_qps", "batch_speedup")
 _SIM_FIELDS = ("events", "elapsed_s", "events_per_s")
 _CLUSTER_FIELDS = ("n_shards", "coordinator_qps",
                    "merge_overhead_fraction", "wall_s")
+_SERVE_FIELDS = ("offered_qps", "qps", "goodput_qps", "completed",
+                 "wall_s")
 
 
 def validate_bench(doc: dict[str, t.Any]) -> None:
@@ -235,7 +281,9 @@ def validate_bench(doc: dict[str, t.Any]) -> None:
     to a supported BENCH schema version (see ``docs/BENCHMARKS.md``).
 
     Version 1 documents have no ``cluster`` section; version 2
-    documents must carry one.  Everything else is common.
+    documents must carry one.  The ``serve`` section is optional in
+    both (older committed documents predate it) but is validated
+    whenever present.  Everything else is common.
     """
     if not isinstance(doc, dict):
         raise ReproError(f"bench document must be an object: {type(doc)}")
@@ -297,6 +345,17 @@ def validate_bench(doc: dict[str, t.Any]) -> None:
                     f"bench cluster n_shards={row['n_shards']}: "
                     f"merge_overhead_fraction must be in [0, 1), "
                     f"got {fraction!r}")
+    if "serve" in doc:
+        serve = doc["serve"]
+        if not isinstance(serve, dict):
+            raise ReproError("bench serve section must be an object")
+        for key in _SERVE_FIELDS:
+            if key not in serve:
+                raise ReproError(f"bench serve section missing {key!r}")
+            if not isinstance(serve[key], (int, float)) or not serve[key] > 0:
+                raise ReproError(
+                    f"bench serve: {key} must be a positive number, "
+                    f"got {serve[key]!r}")
 
 
 def write_bench(doc: dict[str, t.Any], path: str | Path) -> None:
@@ -337,4 +396,11 @@ def format_bench(doc: dict[str, t.Any]) -> str:
             f"{row['coordinator_qps']:,.0f} coordinator QPS, "
             f"merge overhead {row['merge_overhead_fraction']:.2%}, "
             f"replayed in {row['wall_s']:.2f}s")
+    if "serve" in doc:
+        serve = doc["serve"]
+        lines.append(
+            f"serve path: {serve['qps']:,.0f} QPS at "
+            f"{serve['offered_qps']:,.0f} offered "
+            f"(goodput {serve['goodput_qps']:,.0f}), "
+            f"replayed in {serve['wall_s']:.2f}s")
     return "\n".join(lines)

@@ -187,6 +187,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(data["verdicts"].values()) else 1
 
 
+def cmd_tenancy(args: argparse.Namespace) -> int:
+    from repro.tenancy.study import tenancy_study
+    duration = min(args.duration, 0.5) if args.quick else args.duration
+    data = tenancy_study(
+        args.dataset, n_tenants=args.tenants, duration_s=duration,
+        seed=args.seed,
+        progress=lambda m: print(f"[tenancy] {m}", file=sys.stderr))
+    print(report.render_tenancy_study(data))
+    return 0 if all(data["verdicts"].values()) else 1
+
+
 def cmd_faults(args: argparse.Namespace) -> int:
     data = figures.resilience_comparison(
         args.dataset, search_list=args.search_list,
@@ -379,6 +390,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="schedule + arrival-timeline seed (default 0)")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "tenancy",
+        help="multi-tenant SLO autopilot study: cost-priced quotas, "
+             "closed-loop degradation, tiered placement vs the static "
+             "sweep (beyond the paper)")
+    p.add_argument("-d", "--dataset", default="cohere-1m",
+                   choices=DATASET_NAMES)
+    p.add_argument("--tenants", type=int, default=100,
+                   help="fleet size (default 100)")
+    p.add_argument("--quick", action="store_true",
+                   help="shorter serving window (CI smoke)")
+    p.add_argument("--duration", type=float, default=0.5,
+                   help="simulated seconds per serving run (default 0.5)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="arrival-timeline seed (default 0)")
+    p.set_defaults(fn=cmd_tenancy)
 
     p = sub.add_parser(
         "faults",

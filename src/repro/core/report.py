@@ -468,6 +468,67 @@ def render_chaos_study(data: dict) -> str:
     ])
 
 
+def render_tenancy_study(data: dict) -> str:
+    """Tables for the tenancy study (``repro tenancy``).
+
+    The degradation ladder, the static sweep vs the autopilot at the
+    same offered load, the control-plane ledger, the per-class SLO
+    attainment split, and the verdicts.
+    """
+    ladder_rows = [[rung["level"], rung["params"],
+                    _fmt(rung["recall"], 4),
+                    _fmt(rung["prior_cost_ms"], 3)]
+                   for rung in data["ladder"]]
+
+    def run_row(label: str, row: dict) -> list:
+        return [label, f"{row['attainment']:.1%}",
+                _fmt(row["goodput_qps"], 0), _fmt(row["qps"], 0),
+                _fmt(row["p50_ms"], 1), _fmt(row["p99_ms"], 1),
+                row["rejected"], row["shed"], _fmt(row["recall"], 3)]
+
+    rows = [run_row(f"static L{level}", row)
+            for level, row in data["statics"].items()]
+    rows.append(run_row("autopilot", data["autopilot"]))
+    auto = data["autopilot"]
+    classes = data["classes"]
+    class_rows = [[name, f"{classes['autopilot'][name]:.1%}",
+                   f"{classes['best_static'][name]:.1%}"]
+                  for name in classes["autopilot"]]
+    verdict_rows = [[name, "HOLDS" if holds else "DIFFERS"]
+                    for name, holds in data["verdicts"].items()]
+    legal = ", ".join(f"L{lv}" for lv in data["legal_static_levels"])
+    return "\n".join([
+        f"[{data['dataset']}] tenancy study, {data['n_tenants']} tenants, "
+        f"window={data['duration_s']}s",
+        f"offered {data['offered_qps']:.0f} qps against a saturation of "
+        f"{data['saturation_qps']:.0f} qps (knee "
+        f"{data['knee_concurrency']}); legal statics: {legal}",
+        "",
+        "precompiled degradation ladder:",
+        format_table(["level", "params", "recall@10", "prior cost ms"],
+                     ladder_rows),
+        "",
+        "same offered load, fleet-wide statics vs the autopilot:",
+        format_table(["config", "attainment", "goodput", "qps", "p50 ms",
+                      "p99 ms", "rejected", "shed", "recall@10"], rows),
+        "",
+        f"control plane: {auto['intervals']} intervals, "
+        f"{auto['degrades']} degrades / {auto['restores']} restores "
+        f"({auto['floor_capped']} capped at a recall floor), "
+        f"{auto['quota_rejected']} quota-rejected",
+        f"placement: {auto['promotions']} promotions, "
+        f"{auto['demotions']} demotions, "
+        f"{auto['hot_groups']} hot / {auto['cold_groups']} cold at end",
+        f"cost model: mean prediction error "
+        f"{auto['cost_error']:.1%} over completions",
+        "",
+        "per-class SLO attainment:",
+        format_table(["class", "autopilot", "best static"], class_rows),
+        "",
+        format_table(["verdict", "holds"], verdict_rows),
+    ])
+
+
 def render_fig5(fig5: dict) -> str:
     blocks = []
     for dataset, entry in fig5["datasets"].items():

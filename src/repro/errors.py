@@ -140,6 +140,17 @@ class ClusterError(ReproError):
     :class:`DegradedResult`, not errors."""
 
 
+class TenancyError(ReproError):
+    """The multi-tenant control plane was misconfigured.
+
+    Raised eagerly for structural problems — duplicate tenant names, a
+    recall floor no ladder level can satisfy, a placement budget of
+    zero hot groups, an autopilot pointed at a closed-loop config —
+    never for runtime pressure: quota rejections, quality degradation,
+    and tier demotions are *outcomes* counted in
+    :class:`~repro.tenancy.TenancyStats`, not errors."""
+
+
 @dataclasses.dataclass(frozen=True)
 class DegradedResult:
     """Record of graceful degradation applied during a benchmark run.

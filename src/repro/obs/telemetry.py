@@ -150,6 +150,16 @@ class RunTelemetry:
         ``slo_misses``."""
         self.counter(f"serve_{event}").inc(amount)
 
+    def on_tenancy(self, event: str, amount: int = 1) -> None:
+        """Record control-plane actions (see :mod:`repro.tenancy`):
+        ``intervals`` (controller wake-ups), ``degrades`` and
+        ``restores`` (per-tenant ladder moves), ``floor_capped``
+        (degrades refused by a tenant's recall floor), ``promotions``
+        and ``demotions`` (placement tier migrations completed), or
+        ``quota_rejected`` (arrivals priced out by a token bucket —
+        also counted under ``serve_rejected``)."""
+        self.counter(f"tenancy_{event}").inc(amount)
+
     def on_cluster(self, event: str, amount: int = 1) -> None:
         """Record scatter-gather outcomes (see :mod:`repro.cluster`):
         ``fanout`` (shard requests issued), ``hedges`` and

@@ -7,16 +7,20 @@ dynamic batching, deadline-based load shedding, and an AIMD concurrency
 controller — with goodput-centric SLO accounting in
 :class:`ServeResult`.  See ``docs/SERVING.md`` for the design and
 :mod:`repro.serve.study` for the study CLI behind ``repro serve``.
+The per-tenant control plane that closes the loop around this layer
+lives in :mod:`repro.tenancy`.
 """
 
 from repro.serve.arrivals import (ArrivalModel, BurstyArrivals,
-                                  ClosedLoopArrivals, PoissonArrivals)
+                                  ClosedLoopArrivals, DiurnalArrivals,
+                                  PoissonArrivals)
 from repro.serve.controller import AIMDConfig, ConcurrencyController
 from repro.serve.queueing import (POLICIES, AdmissionQueue, EdfQueue,
                                   FifoQueue, QueuedQuery,
                                   WeightedFairQueue, make_queue)
 from repro.serve.result import ServeResult, TenantStats
 from repro.serve.server import ServeConfig, Server, TenantLoad, serve
+from repro.serve.tenant import Tenant, TenantIdentity
 
 __all__ = [
     "AIMDConfig",
@@ -25,6 +29,7 @@ __all__ = [
     "BurstyArrivals",
     "ClosedLoopArrivals",
     "ConcurrencyController",
+    "DiurnalArrivals",
     "EdfQueue",
     "FifoQueue",
     "POLICIES",
@@ -33,6 +38,8 @@ __all__ = [
     "ServeConfig",
     "ServeResult",
     "Server",
+    "Tenant",
+    "TenantIdentity",
     "TenantLoad",
     "TenantStats",
     "WeightedFairQueue",

@@ -9,13 +9,17 @@ offered load self-throttles at saturation.  A production service faces
 backend is, so when offered load exceeds capacity the queue grows
 without bound instead of the QPS curve politely flattening.
 
-Three generator families, all seeded and deterministic:
+Four generator families, all seeded and deterministic:
 
 * :class:`PoissonArrivals` — memoryless arrivals at a constant mean
   rate λ, the M/G/k baseline of open-loop analysis;
 * :class:`BurstyArrivals` — a two-state Markov-modulated Poisson
   process (calm rate / burst rate with exponential state holding
   times), the standard model for flash crowds;
+* :class:`DiurnalArrivals` — an inhomogeneous Poisson process whose
+  rate swings sinusoidally between a trough and a peak (one "day" per
+  ``period_s``), sampled exactly by Lewis–Shedler thinning; the slow
+  tide the tenancy autopilot's placement tier surfs;
 * :class:`ClosedLoopArrivals` — not a timeline at all but a marker
   telling the :class:`~repro.serve.Server` to run N closed-loop
   clients exactly like the benchmark runner, the back-compat bridge
@@ -142,6 +146,71 @@ class BurstyArrivals:
 
 
 @dataclasses.dataclass(frozen=True)
+class DiurnalArrivals:
+    """A sinusoidally modulated Poisson process (one tide per period).
+
+    The instantaneous rate swings between ``trough_qps`` and
+    ``peak_qps`` with period ``period_s``; ``phase`` (in periods)
+    shifts where in the cycle the run starts, so a fleet of tenants
+    can peak at different times of "day".  Sampling is exact
+    Lewis–Shedler thinning: candidates are drawn from a homogeneous
+    envelope at ``peak_qps`` and kept with probability
+    ``rate(t)/peak_qps`` — one uniform per candidate, so the timeline
+    stays a pure function of (model, duration, seed, stream).
+
+    >>> tide = DiurnalArrivals(peak_qps=2000.0, trough_qps=200.0,
+    ...                        period_s=0.5)
+    >>> tide.mean_qps
+    1100.0
+    >>> len(tide.timeline(0.01, seed=7))
+    6
+    >>> round(tide.rate_at(0.125), 1)   # crest of the first period
+    2000.0
+    """
+
+    peak_qps: float
+    trough_qps: float
+    period_s: float = 1.0
+    #: Start offset within the cycle, in fractions of a period.
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.trough_qps <= 0 or self.peak_qps < self.trough_qps:
+            raise ServeError(
+                f"need peak >= trough > 0: {self.peak_qps}, "
+                f"{self.trough_qps}")
+        if self.period_s <= 0:
+            raise ServeError(f"period must be > 0: {self.period_s}")
+
+    @property
+    def mean_qps(self) -> float:
+        """Long-run offered load: the sinusoid averages to its midline."""
+        return (self.peak_qps + self.trough_qps) / 2.0
+
+    def rate_at(self, now_s: float) -> float:
+        """Instantaneous arrival rate at *now_s*."""
+        swing = (self.peak_qps - self.trough_qps) / 2.0
+        angle = 2.0 * np.pi * (now_s / self.period_s + self.phase)
+        return self.trough_qps + swing * (1.0 + float(np.sin(angle)))
+
+    def timeline(self, duration_s: float, seed: int = 0,
+                 stream: int = 0) -> tuple[float, ...]:
+        """Arrival times in ``[0, duration_s)``, sorted ascending."""
+        if duration_s <= 0:
+            raise ServeError(f"duration must be > 0: {duration_s}")
+        rng = _rng(seed, stream)
+        times: list[float] = []
+        now = 0.0
+        while True:
+            now += float(rng.exponential(1.0 / self.peak_qps))
+            if now >= duration_s:
+                break
+            if float(rng.uniform()) * self.peak_qps <= self.rate_at(now):
+                times.append(now)
+        return tuple(times)
+
+
+@dataclasses.dataclass(frozen=True)
 class ClosedLoopArrivals:
     """Back-compat marker: run *clients* closed-loop benchmark clients.
 
@@ -170,4 +239,5 @@ class ClosedLoopArrivals:
             f"{self.clients} closed-loop clients instead")
 
 
-ArrivalModel = t.Union[PoissonArrivals, BurstyArrivals, ClosedLoopArrivals]
+ArrivalModel = t.Union[PoissonArrivals, BurstyArrivals, DiurnalArrivals,
+                       ClosedLoopArrivals]

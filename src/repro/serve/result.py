@@ -24,9 +24,11 @@ import dataclasses
 import typing as t
 
 from repro.obs import RunTelemetry
+from repro.serve.tenant import Tenant
 
 if t.TYPE_CHECKING:
     from repro.mutate.simproc import MutationStats
+    from repro.tenancy.autopilot import TenancyStats
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +51,19 @@ class TenantStats:
     p99_latency_s: float
     mean_queue_s: float         # arrival -> dispatch
     mean_service_s: float       # dispatch -> completion
+    #: Rejections attributed to cost-priced quota buckets (a subset of
+    #: ``rejected``); always 0 without the tenancy autopilot.
+    quota_rejected: int = 0
+    #: Completions served at a degraded ladder level (autopilot only).
+    degraded: int = 0
+    #: Completion-weighted recall of this tenant's answers; ``None``
+    #: when the run had no ground truth or no autopilot.
+    recall: float | None = None
+
+    @property
+    def identity(self) -> Tenant:
+        """The shared :class:`~repro.serve.Tenant` identity value."""
+        return Tenant(self.name, self.weight)
 
     @property
     def slo_misses(self) -> int:
@@ -59,6 +74,16 @@ class TenantStats:
     def dropped(self) -> int:
         """Offered queries that never completed: rejected + shed."""
         return self.rejected + self.shed
+
+    @property
+    def slo_attainment(self) -> float:
+        """In-deadline completions over *offered* load.
+
+        Rejections and sheds count against attainment: the production
+        question is what fraction of what the tenant asked for was
+        delivered on time, not what fraction of the survivors was.
+        """
+        return self.slo_completions / self.arrivals if self.arrivals else 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -97,6 +122,9 @@ class ServeResult:
     #: Mutation-stream accounting when the run carried a
     #: :class:`repro.mutate.MutationLoad`; ``None`` on read-only runs.
     mutation: "MutationStats | None" = None
+    #: Autopilot accounting when the run was served by the
+    #: :mod:`repro.tenancy` control plane; ``None`` otherwise.
+    tenancy: "TenancyStats | None" = None
     telemetry: RunTelemetry | None = dataclasses.field(
         default=None, compare=False, repr=False)
 
@@ -129,4 +157,8 @@ class ServeResult:
             mut["compaction_windows"] = [list(w) for w
                                          in self.mutation.compaction_windows]
             data["mutation"] = mut
+        if self.tenancy is not None:
+            ten = dataclasses.asdict(self.tenancy)
+            ten["levels"] = [list(pair) for pair in self.tenancy.levels]
+            data["tenancy"] = ten
         return data

@@ -43,11 +43,13 @@ from repro.serve.arrivals import ArrivalModel, ClosedLoopArrivals
 from repro.serve.controller import AIMDConfig, ConcurrencyController
 from repro.serve.queueing import POLICIES, QueuedQuery, make_queue
 from repro.serve.result import ServeResult, TenantStats
+from repro.serve.tenant import Tenant
 from repro.workload.metrics import percentile
 
 if t.TYPE_CHECKING:
     from repro.mutate.simproc import MutationLoad, MutationState
-    from repro.workload.runner import BenchRunner, ReplaySession
+    from repro.tenancy.autopilot import TenancyStats
+    from repro.workload.runner import BenchRunner, CompiledQuery, ReplaySession
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,6 +69,11 @@ class TenantLoad:
         if self.slo_deadline_s is not None and self.slo_deadline_s <= 0:
             raise ServeError(
                 f"SLO deadline must be > 0: {self.slo_deadline_s}")
+
+    @property
+    def identity(self) -> Tenant:
+        """The shared :class:`~repro.serve.Tenant` identity value."""
+        return Tenant(self.name, self.weight)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -177,6 +184,7 @@ class _Tally:
         self.arrivals = 0
         self.admitted = 0
         self.rejected = 0
+        self.quota_rejected = 0
         self.shed = 0
         self.records: list[_QueryRecord] = []
 
@@ -197,6 +205,45 @@ class Server:
     def _note(self, event: str, amount: int = 1) -> None:
         if self.telemetry is not None:
             self.telemetry.on_serve(event, amount)
+
+    # -- control-plane hook points ----------------------------------------
+    #
+    # All no-ops here; the :class:`repro.tenancy.AutopilotServer`
+    # subclass overrides them.  Keeping the plain server's behavior in
+    # the base methods is what makes "autopilot disabled" trivially
+    # bit-identical to PR 5 serving — there is no second code path to
+    # drift.
+
+    def _admit(self, tenant: int, when: float) -> bool:
+        """Pre-queue admission gate (quota buckets live here)."""
+        return True
+
+    def _plan_for(self, session: "ReplaySession",
+                  query: QueuedQuery) -> "tuple[CompiledQuery, bool]":
+        """The plan to replay for *query* (level/tier selection hook)."""
+        return session.plan_for(query.index)
+
+    def _on_completion(self, query: QueuedQuery,
+                       record: _QueryRecord) -> None:
+        """Observation feed for closed-loop controllers."""
+
+    def _on_shed(self, query: QueuedQuery) -> None:
+        """Notification that an admitted query was shed at dispatch."""
+
+    def _start_background(self, session: "ReplaySession") -> None:
+        """Spawn control-plane simprocs before arrivals are scheduled."""
+
+    def _recall(self, session: "ReplaySession") -> float | None:
+        """Run-level recall (completion-weighted under the autopilot)."""
+        return session.recall
+
+    def _stats_extra(self, tenant: int, tally: _Tally) -> dict[str, t.Any]:
+        """Extra :class:`TenantStats` fields (per-tenant recall etc.)."""
+        return {}
+
+    def _tenancy_stats(self) -> "TenancyStats | None":
+        """Autopilot accounting attached to the result; ``None`` here."""
+        return None
 
     def _result(self, session: "ReplaySession", tallies: list[_Tally],
                 batches: int, max_depth: int,
@@ -232,6 +279,7 @@ class Server:
                 arrivals=tally.arrivals,
                 admitted=tally.admitted,
                 rejected=tally.rejected,
+                quota_rejected=tally.quota_rejected,
                 shed=tally.shed,
                 completed=len(mine),
                 failed=sum(1 for r in tally.records
@@ -246,6 +294,7 @@ class Server:
                               if mine else nan),
                 mean_service_s=(float(np.mean([r.service_s for r in mine]))
                                 if mine else nan),
+                **self._stats_extra(tenant, tally),
             )
 
         tenants = tuple(stats(i, tally) for i, tally in enumerate(tallies))
@@ -283,9 +332,10 @@ class Server:
             controller_history=(tuple(controller.history)
                                 if controller is not None else ()),
             final_limit=final_limit,
-            recall=session.recall,
+            recall=self._recall(session),
             mutation=(self._mutation.stats()
                       if self._mutation is not None else None),
+            tenancy=self._tenancy_stats(),
             telemetry=self.telemetry,
         )
 
@@ -371,7 +421,7 @@ class Server:
 
         def service(query: QueuedQuery, record: _QueryRecord,
                     fixed_cpu: float):
-            plan, cold = session.plan_for(query.index)
+            plan, cold = self._plan_for(session, query)
             span = (telem.begin_query(query.seq, query.index, query.tenant,
                                       cold, record.arrival_s)
                     if telem is not None else None)
@@ -392,6 +442,7 @@ class Server:
                 # feeding it back would lock the limit at the floor
                 # once any backlog forms (bufferbloat).
                 controller.on_completion(record.service_s)
+            self._on_completion(query, record)
             dispatch()
 
         def dispatch() -> None:
@@ -416,6 +467,7 @@ class Server:
                             and env.now > query.deadline_s):
                         tallies[query.tenant].shed += 1
                         self._note("shed")
+                        self._on_shed(query)
                         continue
                     batch.append(query)
                 if not batch:
@@ -436,6 +488,15 @@ class Server:
             tally = tallies[tenant]
             tally.arrivals += 1
             self._note("arrivals")
+            if not self._admit(tenant, when):
+                # Cost-priced quota rejection: counted inside the plain
+                # ``rejected`` ledger (the accounting identities hold)
+                # and attributed separately for the autopilot report.
+                tally.rejected += 1
+                tally.quota_rejected += 1
+                self._note("rejected")
+                self._note("quota_rejected")
+                return
             deadline = config.deadline_for(tenant)
             query = QueuedQuery(
                 seq=seq, tenant=tenant, index=seq % n_queries,
@@ -472,6 +533,7 @@ class Server:
             self._mutation = start_mutation_load(
                 session, self.runner, self.config.mutation,
                 self.config.duration_s, telemetry=self.telemetry)
+        self._start_background(session)
         if self.config.closed_loop:
             return self._serve_closed(session)
         return self._serve_open(session)

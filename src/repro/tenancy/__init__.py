@@ -1,0 +1,48 @@
+"""repro.tenancy — the multi-tenant SLO autopilot.
+
+A per-tenant control plane wrapped around :mod:`repro.serve`:
+cost-priced admission against token-bucket quotas
+(:mod:`~repro.tenancy.costmodel`), a closed AIMD quality loop over the
+precompiled degradation ladder (:mod:`~repro.tenancy.controller`), and
+two-tier hot/cold placement with background byte-streaming migrations
+(:mod:`~repro.tenancy.placement`) — all deterministic, and all
+bit-identically inert when disabled.  See ``docs/TENANCY.md`` for the
+design and :mod:`repro.tenancy.study` for the study CLI behind
+``repro tenancy``.
+"""
+
+from repro.tenancy.autopilot import (AutopilotServer, TenancyConfig,
+                                     TenancyStats, serve_autopilot)
+from repro.tenancy.controller import (DegradationLadder,
+                                      IntervalObservation, LadderLevel,
+                                      SloController, SloControllerConfig,
+                                      build_ladder)
+from repro.tenancy.costmodel import (QueryCostModel, TokenBucket,
+                                     plan_cost_prior)
+from repro.tenancy.placement import (LedgerEntry, Migration,
+                                     PlacementConfig, PlacementManager)
+from repro.tenancy.registry import (PRIORITIES, TenantProfile,
+                                    TenantRegistry)
+
+__all__ = [
+    "AutopilotServer",
+    "DegradationLadder",
+    "IntervalObservation",
+    "LadderLevel",
+    "LedgerEntry",
+    "Migration",
+    "PRIORITIES",
+    "PlacementConfig",
+    "PlacementManager",
+    "QueryCostModel",
+    "SloController",
+    "SloControllerConfig",
+    "TenancyConfig",
+    "TenancyStats",
+    "TenantProfile",
+    "TenantRegistry",
+    "TokenBucket",
+    "build_ladder",
+    "plan_cost_prior",
+    "serve_autopilot",
+]

@@ -1,0 +1,76 @@
+"""Cost priors, the online EMA fit, and cost-denominated buckets."""
+
+import pytest
+
+from repro.errors import TenancyError
+from repro.tenancy import QueryCostModel, TokenBucket, plan_cost_prior
+
+
+class TestPlanCostPrior:
+    def test_prior_prices_compiled_plans(self, runner):
+        cold, warm, _recall = runner._compile({"ef_search": 16})
+        cold_prior = plan_cost_prior(cold, runner.device_spec)
+        warm_prior = plan_cost_prior(warm, runner.device_spec)
+        assert cold_prior > 0 and warm_prior > 0
+        # First-touch plans pay device reads the warm plans do not.
+        assert cold_prior >= warm_prior
+
+    def test_wider_search_costs_more(self, runner):
+        _, narrow, _ = runner._compile({"ef_search": 8})
+        _, wide, _ = runner._compile({"ef_search": 64})
+        assert (plan_cost_prior(wide, runner.device_spec)
+                > plan_cost_prior(narrow, runner.device_spec))
+
+    def test_rejects_zero_plans(self, runner):
+        with pytest.raises(TenancyError):
+            plan_cost_prior([], runner.device_spec)
+
+
+class TestQueryCostModel:
+    def test_seed_predict_observe(self):
+        model = QueryCostModel(alpha=0.5)
+        model.seed(("hot", 0), 0.010)
+        model.seed(("hot", 0), 99.0)        # first write wins
+        assert model.predict(("hot", 0)) == 0.010
+        model.observe(("hot", 0), 0.030)
+        assert model.predict(("hot", 0)) == pytest.approx(0.020)
+        assert model.observations == 1
+        assert model.mean_error == pytest.approx(abs(0.010 - 0.030) / 0.030)
+
+    def test_predict_unseeded_key_raises(self):
+        with pytest.raises(TenancyError):
+            QueryCostModel().predict(("hot", 0))
+
+    def test_non_positive_inputs_rejected_or_ignored(self):
+        with pytest.raises(TenancyError):
+            QueryCostModel(alpha=0.0)
+        model = QueryCostModel()
+        with pytest.raises(TenancyError):
+            model.seed(("hot", 0), 0.0)
+        model.seed(("hot", 0), 0.01)
+        model.observe(("hot", 0), 0.0)      # ignored, not folded
+        assert model.observations == 0
+        assert model.mean_error == 0.0
+
+
+class TestTokenBucket:
+    def test_debit_refill_and_cap(self):
+        bucket = TokenBucket(capacity=1.0, refill_per_s=0.5)
+        assert bucket.take(0.8, now_s=0.0)
+        assert not bucket.take(0.8, now_s=0.0)
+        assert bucket.take(0.8, now_s=2.0)      # 0.2 + 1.0 refilled
+        # Refill never exceeds capacity.
+        assert bucket.take(1.0, now_s=100.0)
+        assert not bucket.take(1e-6, now_s=100.0)
+
+    def test_exact_boundary_take(self):
+        bucket = TokenBucket(capacity=0.5, refill_per_s=1.0)
+        assert bucket.take(0.5, now_s=0.0)
+        assert not bucket.take(0.5, now_s=0.25)
+        assert bucket.take(0.25, now_s=0.25)
+
+    def test_validation(self):
+        with pytest.raises(TenancyError):
+            TokenBucket(capacity=0.0, refill_per_s=1.0)
+        with pytest.raises(TenancyError):
+            TokenBucket(capacity=1.0, refill_per_s=0.0)

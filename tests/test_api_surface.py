@@ -24,13 +24,14 @@ def render_surface() -> str:
     import repro.engines
     import repro.prefetch
     import repro.serve
+    import repro.tenancy
     from repro.api import ClusterSession, Deployment, Session
     from repro.engines.engine import IndexSpec, SearchRequest
     from repro.ann.workprofile import SearchResult
 
     lines = []
     for module in (repro, repro.cluster, repro.engines, repro.prefetch,
-                   repro.serve):
+                   repro.serve, repro.tenancy):
         for name in sorted(module.__all__):
             lines.append(f"{module.__name__}: {name}")
     for name in sorted(vars(repro.api)):

@@ -46,6 +46,21 @@ def test_quick_doc_covers_every_cluster_fanout(quick_doc):
     assert overheads == sorted(overheads)
 
 
+def test_quick_doc_carries_a_consistent_serve_section(quick_doc):
+    serve = quick_doc["serve"]
+    assert serve["completed"] > 0
+    assert serve["goodput_qps"] <= serve["qps"] + 1e-9
+    # The serve path runs at ~70 % of capacity, so throughput should
+    # track the offered load, not collapse below it.
+    assert serve["qps"] >= 0.5 * serve["offered_qps"]
+
+
+def test_serve_section_is_optional_but_validated(quick_doc):
+    doc = copy.deepcopy(quick_doc)
+    doc.pop("serve")
+    validate_bench(doc)        # pre-serve v2 documents stay valid
+
+
 def test_roundtrip_through_disk(quick_doc, tmp_path):
     path = tmp_path / "bench.json"
     write_bench(quick_doc, path)
@@ -70,6 +85,10 @@ def test_format_bench_mentions_every_index(quick_doc):
     lambda d: d["cluster"][0].pop("coordinator_qps"),
     lambda d: d["cluster"][0].update(merge_overhead_fraction=1.5),
     lambda d: d["cluster"][0].update(n_shards=0),
+    lambda d: d.update(serve=[]),
+    lambda d: d["serve"].pop("qps"),
+    lambda d: d["serve"].update(wall_s=0),
+    lambda d: d["serve"].update(goodput_qps="fast"),
 ])
 def test_validate_rejects_malformed_documents(quick_doc, mutate):
     doc = copy.deepcopy(quick_doc)
@@ -119,6 +138,24 @@ def test_bench_7_extends_the_trajectory():
         # meaningful throughput (the merge is nanoseconds per row).
         assert row["coordinator_qps"] >= 0.8 * base
         assert row["merge_overhead_fraction"] < 0.05
+
+
+def test_bench_10_resumes_the_trajectory():
+    """BENCH_10.json resumes the committed trajectory after the PR 8-9
+    gap: the kernel and cluster gates still hold, and the new serve
+    section shows the open-loop path sustaining its offered load."""
+    doc = load_bench(REPO / "BENCH_10.json")
+    assert doc["schema_version"] == 2
+    assert doc["quick"] is False
+    speedups = {r["name"]: r["batch_speedup"] for r in doc["results"]}
+    assert speedups["flat"] >= 3.0
+    assert speedups["ivf"] >= 3.0
+    assert [row["n_shards"] for row in doc["cluster"]] == list(
+        CLUSTER_FANOUTS)
+    serve = doc["serve"]
+    assert serve["completed"] > 0
+    assert serve["qps"] >= 0.5 * serve["offered_qps"]
+    assert serve["goodput_qps"] <= serve["qps"] + 1e-9
 
 
 def test_cli_bench_writes_valid_json(tmp_path, capsys):

@@ -47,6 +47,10 @@ DOCTESTED_MODULES = (
     "repro.chaos.schedule",
     "repro.chaos.shrink",
     "repro.chaos.oracles",
+    "repro.tenancy.registry",
+    "repro.tenancy.controller",
+    "repro.tenancy.costmodel",
+    "repro.tenancy.placement",
 )
 
 #: Markdown documents whose code blocks are executed.
@@ -54,7 +58,7 @@ DOCUMENTS = ("README.md", "DESIGN.md", "docs/ARCHITECTURE.md",
              "docs/FAULT_MODEL.md", "docs/DURABILITY.md",
              "docs/SERVING.md", "docs/BENCHMARKS.md",
              "docs/CLUSTER.md", "docs/MUTABILITY.md",
-             "docs/CHAOS.md")
+             "docs/CHAOS.md", "docs/TENANCY.md")
 
 #: Markdown files whose intra-repo links are checked.
 LINKED = sorted(str(p.relative_to(REPO)) for p in
